@@ -1,0 +1,219 @@
+// Ablation benchmarks for the design choices discussed in the paper's
+// §VI-B4 (software bootloader vs hardware ISP), §VIII-A (software-only
+// vs hardware-assisted deployment), §VIII-B (random padding), §V-C
+// (randomization frequency vs flash endurance) and §IX (runtime checks
+// such as stack canaries).
+package mavr_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mavr/internal/attack"
+	"mavr/internal/avr"
+	"mavr/internal/board"
+	"mavr/internal/core"
+	"mavr/internal/firmware"
+)
+
+// §VI-B4: attacks built on bootloader-resident gadgets survive every
+// randomization; hardware ISP removes the static code entirely.
+func BenchmarkAblation_BootloaderGadgetSurvival(b *testing.B) {
+	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := a.UseFixedGadgets(img.Bootloader, firmware.BootloaderStart); err != nil {
+		b.Fatal(err)
+	}
+	payload, err := attack.BuildV1(a, attack.GyroCfgWrite(0x6A))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre, err := core.Preprocess(img.ELF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	landed := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := core.Randomize(pre, core.Permutation(rng, len(pre.Blocks)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		full := img.FullFlash()
+		copy(full, r.Image)
+		copy(full[firmware.BootloaderStart:], img.Bootloader)
+		sim, err := attack.NewSim(full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = sim.Deliver(attack.Frame(payload), 300_000)
+		if sim.CPU.Data[firmware.AddrGyroCfg] == 0x6A {
+			landed++
+		}
+	}
+	b.ReportMetric(float64(landed)/float64(b.N), "write_landed_rate")
+}
+
+// §IX: per-packet cycle cost of a stack canary versus MAVR's zero
+// runtime overhead.
+func BenchmarkAblation_CanaryRuntimeOverhead(b *testing.B) {
+	measure := func(canary bool) uint64 {
+		spec := firmware.TestApp()
+		spec.StackCanaries = canary
+		img, err := firmware.Generate(spec, firmware.ModeMAVR)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var handler uint32
+		for _, s := range img.ELF.FuncSymbols() {
+			if s.Name == "handle_param_set" {
+				handler = s.Value / 2
+			}
+		}
+		sim, err := attack.NewSim(img.Flash)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probe := attack.Frame(make([]byte, 23))
+		sim.SendFrame(probe)
+		ok, _ := sim.CPU.RunUntil(5_000_000, func(c *avr.CPU) bool { return c.PC == handler })
+		if !ok {
+			b.Fatal("handler never reached")
+		}
+		entry := sim.CPU.Cycles
+		sp := sim.CPU.SP()
+		ok, _ = sim.CPU.RunUntil(100_000, func(c *avr.CPU) bool { return c.SP() > sp })
+		if !ok {
+			b.Fatal("handler never returned")
+		}
+		return sim.CPU.Cycles - entry
+	}
+	var plain, canary uint64
+	for i := 0; i < b.N; i++ {
+		plain = measure(false)
+		canary = measure(true)
+	}
+	b.ReportMetric(float64(plain), "plain_cycles")
+	b.ReportMetric(float64(canary), "canary_cycles")
+	b.ReportMetric(float64(canary-plain), "overhead_cycles")
+}
+
+// §V-C: randomization frequency versus flash endurance. With 10,000
+// program cycles and randomize-every-boot, the device wears out after
+// 10,000 boots; randomizing every Nth boot extends life N-fold at the
+// cost of layout reuse.
+func BenchmarkAblation_RandomizationFrequencyEndurance(b *testing.B) {
+	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, every := range []int{1, 5, 20} {
+		every := every
+		name := map[int]string{1: "every_boot", 5: "every_5", 20: "every_20"}[every]
+		b.Run(name, func(b *testing.B) {
+			var cycles int
+			for i := 0; i < b.N; i++ {
+				sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{
+					RandomizeEvery: every, Seed: int64(every),
+				}})
+				if err := sys.FlashFirmware(img); err != nil {
+					b.Fatal(err)
+				}
+				const boots = 40
+				for j := 0; j < boots; j++ {
+					if _, err := sys.Boot(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				cycles = sys.Master.Stats().ProgramCycles
+			}
+			b.ReportMetric(float64(cycles), "program_cycles_per_40_boots")
+			b.ReportMetric(float64(board.FlashEndurance*40/cycles), "boot_lifetime")
+		})
+	}
+}
+
+// §VIII-A: the software-only deployment never re-randomizes — measure
+// that its layout is bit-identical across flashes while MAVR's differs.
+func BenchmarkAblation_SoftwareOnlyLayoutReuse(b *testing.B) {
+	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	identical := 0
+	for i := 0; i < b.N; i++ {
+		layout := func() []byte {
+			sys := board.NewSystem(board.SystemConfig{SoftwareOnly: true, SoftwareSeed: 3})
+			if err := sys.FlashFirmware(img); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Boot(); err != nil {
+				b.Fatal(err)
+			}
+			d, err := sys.App.ReadFlashExternally()
+			if err != nil {
+				b.Fatal(err)
+			}
+			return d[:len(img.Flash)]
+		}
+		x, y := layout(), layout()
+		same := true
+		for j := range x {
+			if x[j] != y[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			identical++
+		}
+	}
+	b.ReportMetric(float64(identical)/float64(b.N), "layout_reuse_rate")
+}
+
+// §VIII-B: entropy of permutation vs optional padding.
+func BenchmarkAblation_PaddingEntropy(b *testing.B) {
+	var perm, pad float64
+	for i := 0; i < b.N; i++ {
+		perm = core.EntropyBits(800)
+		pad = core.PaddingEntropyBits(800, (262144-177556)/2)
+	}
+	b.ReportMetric(perm, "perm_bits")
+	b.ReportMetric(pad, "padding_bits")
+}
+
+// Production estimate of §VII-B1: at mega-baud rates the startup
+// overhead falls to ~4s for ArduPlane-sized images.
+func BenchmarkAblation_ProductionBaudStartup(b *testing.B) {
+	img, err := firmware.Generate(firmware.Arduplane(), firmware.ModeMAVR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ms int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{
+			Seed:        1,
+			ProgramBaud: board.ProductionProgramBaud,
+		}})
+		if err := sys.FlashFirmware(img); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := sys.Boot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms = rep.Total.Milliseconds()
+	}
+	b.ReportMetric(float64(ms), "sim_ms")
+	b.ReportMetric(4000, "paper_estimate_ms")
+	_ = time.Millisecond
+}

@@ -1,0 +1,141 @@
+// mavr-attack runs one of the paper's attack generations against a
+// simulated board and reports the outcome as seen by the board and the
+// ground station.
+//
+// Usage:
+//
+//	mavr-attack [-v 1|2|3] [-protect] [-value 0x7F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mavr/internal/attack"
+	"mavr/internal/board"
+	"mavr/internal/firmware"
+	"mavr/internal/gcs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	version := flag.Int("v", 2, "attack generation: 1 (basic), 2 (stealthy), 3 (trampoline)")
+	protect := flag.Bool("protect", false, "attack a MAVR-protected board instead of a plain APM")
+	value := flag.Int("value", 0x7F, "gyro configuration byte to write")
+	trace := flag.Bool("trace", false, "print the Fig. 6 stack progression of the V2 chain")
+	flag.Parse()
+
+	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+	if err != nil {
+		return err
+	}
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		return err
+	}
+
+	var payloads [][]byte
+	switch *version {
+	case 1:
+		p, err := attack.BuildV1(a, attack.GyroCfgWrite(byte(*value)))
+		if err != nil {
+			return err
+		}
+		payloads = [][]byte{p}
+	case 2:
+		p, err := attack.BuildV2(a, attack.GyroCfgWrite(byte(*value)))
+		if err != nil {
+			return err
+		}
+		payloads = [][]byte{p}
+	case 3:
+		big := []attack.Write{attack.GyroCfgWrite(byte(*value))}
+		for i := 0; i < 12; i++ {
+			big = append(big, attack.Write{Addr: 0x1800 + uint16(3*i), Vals: [3]byte{0xDE, 0xAD, byte(i)}})
+		}
+		ps, err := attack.BuildV3(a, big, firmware.AddrFreeMem)
+		if err != nil {
+			return err
+		}
+		payloads = ps
+	default:
+		return fmt.Errorf("unknown attack version %d", *version)
+	}
+
+	if *trace {
+		snaps, err := attack.TraceV2(a, img.Flash, attack.GyroCfgWrite(byte(*value)))
+		if err != nil {
+			return err
+		}
+		fmt.Println("stack progression (paper Fig. 6):")
+		for _, s := range snaps {
+			fmt.Println(s)
+		}
+	}
+
+	cfg := board.SystemConfig{Unprotected: true}
+	if *protect {
+		cfg = board.SystemConfig{Master: board.MasterConfig{Seed: 7, WatchdogTimeout: 20 * time.Millisecond}}
+	}
+	sys := board.NewSystem(cfg)
+	if err := sys.FlashFirmware(img); err != nil {
+		return err
+	}
+	if _, err := sys.Boot(); err != nil {
+		return err
+	}
+	g := gcs.NewGroundStation(sys)
+
+	fly := func(d time.Duration) error {
+		for e := time.Duration(0); e < d; e += 10 * time.Millisecond {
+			if err := g.Step(10 * time.Millisecond); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := fly(100 * time.Millisecond); err != nil {
+		return err
+	}
+	fmt.Printf("attacking with V%d (%d packet(s), %d payload bytes total)\n",
+		*version, len(payloads), totalLen(payloads))
+	for _, p := range payloads {
+		g.SendFrame(attack.Frame(p))
+		if err := fly(60 * time.Millisecond); err != nil {
+			return err
+		}
+	}
+	if err := fly(3 * time.Second); err != nil {
+		return err
+	}
+
+	got := sys.App.CPU.Data[firmware.AddrGyroCfg]
+	fmt.Printf("result: gyro-config=0x%02X (wanted 0x%02X) — attack %s\n",
+		got, *value, map[bool]string{true: "SUCCEEDED", false: "FAILED"}[got == byte(*value)])
+	fmt.Printf("board fault: %v\n", sys.LastFault())
+	fmt.Printf("GCS view: pulses=%d gaps=%d garbage=%d max-silence=%v detected=%v\n",
+		g.Mon.Pulses, g.Mon.SeqGaps, g.Mon.Garbage, g.Mon.MaxSilence.Round(time.Millisecond),
+		g.Mon.CompromiseDetected(200*time.Millisecond))
+	if *protect {
+		st := sys.Master.Stats()
+		fmt.Printf("master: failures detected=%d, randomizations=%d\n",
+			st.FailuresDetected, st.Randomizations)
+	}
+	return nil
+}
+
+func totalLen(ps [][]byte) int {
+	n := 0
+	for _, p := range ps {
+		n += len(p)
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+// mavr-randomize performs the MAVR pipeline on an application binary:
+// preprocess (extract symbols + pointers), randomize (shuffle function
+// blocks), patch (fix control transfers and function pointers), and
+// emit the result.
+//
+// Usage:
+//
+//	mavr-randomize [-app testapp] [-elf in.elf] [-seed 1]
+//	               [-pre out.mavr] [-hex out.hex]
+//
+// With -pre the preprocessed (symbol-prepended HEX) image ready for the
+// external flash chip is written; with -hex the randomized image is
+// written as Intel HEX.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mavr/internal/core"
+	"mavr/internal/elfobj"
+	"mavr/internal/firmware"
+	"mavr/internal/hexfile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	app := flag.String("app", "testapp", "built-in application profile to generate")
+	elfPath := flag.String("elf", "", "randomize an ELF file instead of a generated profile")
+	seed := flag.Int64("seed", 1, "permutation seed")
+	preOut := flag.String("pre", "", "write the preprocessed (prepended-HEX) image here")
+	hexOut := flag.String("hex", "", "write the randomized image as Intel HEX here")
+	elfOut := flag.String("out-elf", "", "write the randomized image as an ELF (with relocated symbols) here")
+	moves := flag.Bool("moves", false, "print the per-function layout diff")
+	flag.Parse()
+
+	var elf *elfobj.File
+	switch {
+	case *elfPath != "":
+		raw, err := os.ReadFile(*elfPath)
+		if err != nil {
+			return err
+		}
+		f, err := elfobj.Parse(raw)
+		if err != nil {
+			return err
+		}
+		elf = f
+	default:
+		spec, err := profile(*app)
+		if err != nil {
+			return err
+		}
+		img, err := firmware.Generate(spec, firmware.ModeMAVR)
+		if err != nil {
+			return err
+		}
+		elf = img.ELF
+	}
+
+	pre, err := core.Preprocess(elf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("preprocess: %d blocks, region [0x%X,0x%X), %d data-section function pointers\n",
+		len(pre.Blocks), pre.RegionStart, pre.RegionEnd, len(pre.PtrOffsets))
+	fmt.Printf("entropy: %.0f bits\n", core.EntropyBits(len(pre.Blocks)))
+
+	if *preOut != "" {
+		f, err := os.Create(*preOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := pre.WriteTo(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote preprocessed image to %s\n", *preOut)
+	}
+
+	r, err := core.Randomize(pre, core.Permutation(rand.New(rand.NewSource(*seed)), len(pre.Blocks)))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("randomize: patched %d control transfers, %d function pointers\n",
+		r.PatchedTransfers, r.PatchedPointers)
+
+	if *moves {
+		for _, m := range r.Moves(pre) {
+			fmt.Println("  " + m)
+		}
+	}
+
+	if *hexOut != "" {
+		f, err := os.Create(*hexOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := hexfile.Encode(f, r.Image); err != nil {
+			return err
+		}
+		fmt.Printf("wrote randomized image to %s\n", *hexOut)
+	}
+	if *elfOut != "" {
+		out := &elfobj.File{
+			Text:     r.Image,
+			Data:     elf.Data,
+			DataAddr: elf.DataAddr,
+			DataLMA:  elf.DataLMA,
+			Symbols:  r.Symbols(pre),
+		}
+		raw, err := out.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*elfOut, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote randomized ELF to %s\n", *elfOut)
+	}
+	return nil
+}
+
+func profile(name string) (firmware.AppSpec, error) {
+	switch name {
+	case "testapp":
+		return firmware.TestApp(), nil
+	case "arduplane":
+		return firmware.Arduplane(), nil
+	case "arducopter":
+		return firmware.Arducopter(), nil
+	case "ardurover":
+		return firmware.Ardurover(), nil
+	}
+	return firmware.AppSpec{}, fmt.Errorf("unknown application %q", name)
+}

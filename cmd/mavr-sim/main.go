@@ -1,0 +1,121 @@
+// mavr-sim flies a complete simulated mission and prints a ground
+// station timeline: telemetry rates, gyro/heading state, heartbeat
+// health, and — optionally — a mid-flight stealthy attack, on either an
+// unprotected APM or a MAVR-protected board.
+//
+// Usage:
+//
+//	mavr-sim [-duration 3s] [-protect] [-attack v1|v2|nav] [-at 1s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mavr/internal/attack"
+	"mavr/internal/board"
+	"mavr/internal/firmware"
+	"mavr/internal/gcs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	duration := flag.Duration("duration", 3*time.Second, "mission length (simulated)")
+	protect := flag.Bool("protect", false, "fly a MAVR-protected board")
+	attackKind := flag.String("attack", "", "inject an attack: v1, v2 or nav")
+	attackAt := flag.Duration("at", time.Second, "attack injection time")
+	flag.Parse()
+
+	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+	if err != nil {
+		return err
+	}
+
+	var payload []byte
+	if *attackKind != "" {
+		a, err := attack.Analyze(img.ELF)
+		if err != nil {
+			return err
+		}
+		switch *attackKind {
+		case "v1":
+			payload, err = attack.BuildV1(a, attack.GyroCfgWrite(0x7F))
+		case "v2":
+			payload, err = attack.BuildV2(a, attack.GyroCfgWrite(0x7F))
+		case "nav":
+			payload, err = attack.BuildV2(a, attack.Write{
+				Addr: img.Layout.WaypointsAddr, Vals: [3]byte{0xEE, 0x00, 0x00},
+			})
+		default:
+			return fmt.Errorf("unknown attack %q", *attackKind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := board.SystemConfig{Unprotected: true}
+	if *protect {
+		cfg = board.SystemConfig{Master: board.MasterConfig{Seed: 11, WatchdogTimeout: 20 * time.Millisecond}}
+	}
+	sys := board.NewSystem(cfg)
+	if err := sys.FlashFirmware(img); err != nil {
+		return err
+	}
+	rep, err := sys.Boot()
+	if err != nil {
+		return err
+	}
+	if rep.Randomized {
+		fmt.Printf("boot: MAVR randomized %d bytes in %v\n", rep.ImageBytes, rep.Total.Round(time.Millisecond))
+	} else {
+		fmt.Println("boot: unprotected APM")
+	}
+
+	sys.AttachFlightProfile(board.DefaultFlightProfile())
+	g := gcs.NewGroundStation(sys)
+	fmt.Println("  t      pulses  gyro(truth)  hdg  heartbeats  status  anomalies")
+	injected := false
+	for elapsed := time.Duration(0); elapsed < *duration; elapsed += 250 * time.Millisecond {
+		if payload != nil && !injected && elapsed >= *attackAt {
+			g.SendFrame(attack.Frame(payload))
+			fmt.Printf("%6s  >>> attack packet injected (%s, %d bytes)\n",
+				elapsed.Round(time.Millisecond), *attackKind, len(payload))
+			injected = true
+		}
+		if err := g.Fly(250 * time.Millisecond); err != nil {
+			return err
+		}
+		anom := "-"
+		if g.Mon.CompromiseDetected(200 * time.Millisecond) {
+			anom = fmt.Sprintf("DETECTED (garbage=%d gaps=%d hbErr=%d silence=%v)",
+				g.Mon.Garbage, g.Mon.SeqGaps, g.Mon.HeartbeatErrors, g.Mon.MaxSilence.Round(time.Millisecond))
+		}
+		fmt.Printf("%6s  %6d  %4d (%3d)   %3d  %10d  %6d  %s\n",
+			sys.Now().Round(time.Millisecond), g.Mon.Pulses, g.Mon.LastGyro, sys.TruthGyro(),
+			g.Mon.LastHeading, g.Mon.Heartbeats, g.Mon.LastStatus, anom)
+	}
+
+	fmt.Printf("\nfinal vehicle state: gyro-config=0x%02X fault=%v\n",
+		sys.App.CPU.Data[firmware.AddrGyroCfg], sys.LastFault())
+	if *protect {
+		st := sys.Master.Stats()
+		fmt.Printf("master: boots=%d randomizations=%d failures-detected=%d endurance=%d/%d\n",
+			st.Boots, st.Randomizations, st.FailuresDetected, st.ProgramCycles, board.FlashEndurance)
+	}
+	if evs := sys.Events(); len(evs) > 0 {
+		fmt.Println("\nboard event log:")
+		for _, e := range evs {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module mavr
+
+go 1.22

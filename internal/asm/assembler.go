@@ -1,0 +1,529 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mavr/internal/avr"
+)
+
+// Assemble translates AVR assembly source into a flash image. It
+// supports the mnemonic subset of internal/avr, labels ("name:"), line
+// comments (";" or "//"), and the directives .org (word address), .dw
+// and .db. Numeric operands accept 0x-prefixed hex or decimal.
+func Assemble(src string) ([]byte, error) {
+	a := &assembler{b: NewBuilder()}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineNo+1, err)
+		}
+	}
+	return a.b.Assemble()
+}
+
+type assembler struct {
+	b *Builder
+}
+
+func (a *assembler) line(raw string) error {
+	line := raw
+	if i := strings.Index(line, ";"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	// Leading label(s).
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 || strings.ContainsAny(line[:i], " \t,") {
+			break
+		}
+		a.b.Label(strings.TrimSpace(line[:i]))
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	fields := strings.SplitN(line, " ", 2)
+	mn := strings.ToLower(fields[0])
+	var ops []string
+	if len(fields) > 1 {
+		for _, o := range strings.Split(fields[1], ",") {
+			ops = append(ops, strings.TrimSpace(o))
+		}
+	}
+	return a.instr(mn, ops)
+}
+
+func parseReg(s string) (int, error) {
+	ls := strings.ToLower(s)
+	if !strings.HasPrefix(ls, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(ls[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func parseNum(s string) (int64, error) {
+	n, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return n, nil
+}
+
+func (a *assembler) need(ops []string, n int) error {
+	if len(ops) != n {
+		return fmt.Errorf("expected %d operands, got %d", n, len(ops))
+	}
+	return nil
+}
+
+func (a *assembler) instr(mn string, ops []string) error {
+	b := a.b
+
+	// Zero-operand instructions.
+	zero := map[string]uint16{
+		"nop": NOP, "ret": RET, "reti": RETI, "ijmp": IJMP, "eijmp": EIJMP,
+		"icall": ICALL, "eicall": EICALL, "sleep": SLEEP, "break": BREAK,
+		"wdr": WDR, "spm": SPM, "sei": SEI, "cli": CLI, "lpm": LPM, "elpm": ELPM,
+	}
+	if w, ok := zero[mn]; ok && len(ops) == 0 {
+		b.Emit(w)
+		return nil
+	}
+
+	twoReg := map[string]func(int, int) uint16{
+		"add": ADD, "adc": ADC, "sub": SUB, "sbc": SBC, "and": AND,
+		"or": OR, "eor": EOR, "mov": MOV, "cp": CP, "cpc": CPC,
+		"cpse": CPSE, "mul": MUL,
+	}
+	if f, ok := twoReg[mn]; ok {
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		r, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(f(d, r))
+		return nil
+	}
+
+	regImm := map[string]func(int, int) uint16{
+		"ldi": LDI, "cpi": CPI, "subi": SUBI, "sbci": SBCI, "ori": ORI,
+		"andi": ANDI, "adiw": ADIW, "sbiw": SBIW,
+	}
+	if f, ok := regImm[mn]; ok {
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		k, err := parseNum(ops[1])
+		if err != nil {
+			return err
+		}
+		switch mn {
+		case "adiw", "sbiw":
+			if d != 24 && d != 26 && d != 28 && d != 30 {
+				return fmt.Errorf("%s requires r24/r26/r28/r30, got r%d", mn, d)
+			}
+		default:
+			if d < 16 {
+				return fmt.Errorf("%s requires r16..r31, got r%d", mn, d)
+			}
+		}
+		b.Emit(f(d, int(k)))
+		return nil
+	}
+
+	oneReg := map[string]func(int) uint16{
+		"com": COM, "neg": NEG, "swap": SWAP, "inc": INC, "dec": DEC,
+		"asr": ASR, "lsr": LSR, "ror": ROR, "push": PUSH, "pop": POP,
+	}
+	if f, ok := oneReg[mn]; ok {
+		if err := a.need(ops, 1); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Emit(f(d))
+		return nil
+	}
+
+	regBit := map[string]func(int, int) uint16{
+		"bld": BLD, "bst": BST, "sbrc": SBRC, "sbrs": SBRS,
+	}
+	if f, ok := regBit[mn]; ok {
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		bit, err := parseNum(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(f(d, int(bit)))
+		return nil
+	}
+
+	ioBit := map[string]func(int, int) uint16{
+		"cbi": CBI, "sbi": SBI, "sbic": SBIC, "sbis": SBIS,
+	}
+	if f, ok := ioBit[mn]; ok {
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		addr, err := parseNum(ops[0])
+		if err != nil {
+			return err
+		}
+		bit, err := parseNum(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(f(int(addr), int(bit)))
+		return nil
+	}
+
+	switch mn {
+	case ".org":
+		if err := a.need(ops, 1); err != nil {
+			return err
+		}
+		n, err := parseNum(ops[0])
+		if err != nil {
+			return err
+		}
+		if uint32(n) < b.Here() {
+			return fmt.Errorf(".org 0x%X behind current location 0x%X", n, b.Here())
+		}
+		for b.Here() < uint32(n) {
+			b.Emit(0xFFFF) // erased flash
+		}
+		return nil
+	case ".dw":
+		for _, o := range ops {
+			if n, err := parseNum(o); err == nil {
+				b.DW(uint16(n))
+			} else {
+				b.DWLabel(o)
+			}
+		}
+		return nil
+	case ".db":
+		var bytes []byte
+		for _, o := range ops {
+			n, err := parseNum(o)
+			if err != nil {
+				return err
+			}
+			bytes = append(bytes, byte(n))
+		}
+		if len(bytes)%2 != 0 {
+			bytes = append(bytes, 0xFF)
+		}
+		for i := 0; i < len(bytes); i += 2 {
+			b.DW(uint16(bytes[i]) | uint16(bytes[i+1])<<8)
+		}
+		return nil
+
+	case "movw":
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		r, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(MOVW(d, r))
+		return nil
+
+	case "in":
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		addr, err := parseNum(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(IN(d, int(addr)))
+		return nil
+	case "out":
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		addr, err := parseNum(ops[0])
+		if err != nil {
+			return err
+		}
+		r, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(OUT(int(addr), r))
+		return nil
+
+	case "lds":
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		addr, err := parseNum(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Emit2(LDS(d, uint16(addr)))
+		return nil
+	case "sts":
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		addr, err := parseNum(ops[0])
+		if err != nil {
+			return err
+		}
+		r, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		b.Emit2(STS(uint16(addr), r))
+		return nil
+
+	case "ld", "ldd":
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		return a.emitIndirect(d, ops[1], false)
+	case "st", "std":
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		r, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		return a.emitIndirect(r, ops[0], true)
+
+	case "lpm", "elpm":
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		d, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		m := strings.ToUpper(strings.ReplaceAll(ops[1], " ", ""))
+		switch {
+		case m == "Z" && mn == "lpm":
+			b.Emit(LPMZ(d))
+		case m == "Z+" && mn == "lpm":
+			b.Emit(LPMZInc(d))
+		case m == "Z" && mn == "elpm":
+			b.Emit(ELPMZ(d))
+		case m == "Z+" && mn == "elpm":
+			b.Emit(ELPMZInc(d))
+		default:
+			return fmt.Errorf("bad %s addressing mode %q", mn, ops[1])
+		}
+		return nil
+
+	case "jmp", "call":
+		if err := a.need(ops, 1); err != nil {
+			return err
+		}
+		emit := b.JMP
+		if mn == "call" {
+			emit = b.CALL
+		}
+		if n, err := parseNum(ops[0]); err == nil {
+			// Numeric targets are byte addresses, as in GNU as and in
+			// disassembly listings.
+			w := JMP(uint32(n) / 2)
+			if mn == "call" {
+				w = CALL(uint32(n) / 2)
+			}
+			b.Emit2(w)
+			return nil
+		}
+		emit(ops[0])
+		return nil
+
+	case "rjmp", "rcall":
+		if err := a.need(ops, 1); err != nil {
+			return err
+		}
+		if n, err := parseNum(ops[0]); err == nil {
+			if n < -2048 || n > 2047 {
+				return fmt.Errorf("%s displacement %d out of 12-bit range", mn, n)
+			}
+			if mn == "rjmp" {
+				b.Emit(RJMP(int(n)))
+			} else {
+				b.Emit(RCALL(int(n)))
+			}
+			return nil
+		}
+		if mn == "rjmp" {
+			b.RJMP(ops[0])
+		} else {
+			b.RCALL(ops[0])
+		}
+		return nil
+
+	case "brbs", "brbc":
+		if err := a.need(ops, 2); err != nil {
+			return err
+		}
+		s, err := parseNum(ops[0])
+		if err != nil {
+			return err
+		}
+		if mn == "brbs" {
+			b.BRBS(int(s), ops[1])
+		} else {
+			b.BRBC(int(s), ops[1])
+		}
+		return nil
+	case "breq":
+		if err := a.need(ops, 1); err != nil {
+			return err
+		}
+		b.BRBS(avr.FlagZ, ops[0])
+		return nil
+	case "brne":
+		if err := a.need(ops, 1); err != nil {
+			return err
+		}
+		b.BRBC(avr.FlagZ, ops[0])
+		return nil
+	case "brcs", "brlo":
+		if err := a.need(ops, 1); err != nil {
+			return err
+		}
+		b.BRBS(avr.FlagC, ops[0])
+		return nil
+	case "brcc", "brsh":
+		if err := a.need(ops, 1); err != nil {
+			return err
+		}
+		b.BRBC(avr.FlagC, ops[0])
+		return nil
+	case "bset":
+		if err := a.need(ops, 1); err != nil {
+			return err
+		}
+		s, err := parseNum(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Emit(BSET(int(s)))
+		return nil
+	case "bclr":
+		if err := a.need(ops, 1); err != nil {
+			return err
+		}
+		s, err := parseNum(ops[0])
+		if err != nil {
+			return err
+		}
+		b.Emit(BCLR(int(s)))
+		return nil
+	}
+	return fmt.Errorf("unknown mnemonic %q", mn)
+}
+
+// emitIndirect handles the X/Y/Z addressing forms: "X", "X+", "-X",
+// "Y", "Y+q", "Z", "Z+q", "Y+", "-Y", "Z+", "-Z".
+func (a *assembler) emitIndirect(reg int, mode string, store bool) error {
+	b := a.b
+	m := strings.ToUpper(strings.ReplaceAll(mode, " ", ""))
+	type tab struct{ load, st func(int) uint16 }
+	fixed := map[string]tab{
+		"X":  {LDX, STX},
+		"X+": {LDXInc, STXInc},
+		"-X": {LDXDec, STXDec},
+		"Y+": {LDYInc, STYInc},
+		"-Y": {LDYDec, STYDec},
+		"Z+": {LDZInc, STZInc},
+		"-Z": {LDZDec, STZDec},
+	}
+	if t, ok := fixed[m]; ok {
+		if store {
+			b.Emit(t.st(reg))
+		} else {
+			b.Emit(t.load(reg))
+		}
+		return nil
+	}
+	// Displacement forms (q may be 0: plain "Y"/"Z").
+	var useY bool
+	switch {
+	case strings.HasPrefix(m, "Y"):
+		useY = true
+	case strings.HasPrefix(m, "Z"):
+	default:
+		return fmt.Errorf("bad addressing mode %q", mode)
+	}
+	q := 0
+	if rest := m[1:]; rest != "" {
+		if !strings.HasPrefix(rest, "+") {
+			return fmt.Errorf("bad addressing mode %q", mode)
+		}
+		n, err := parseNum(rest[1:])
+		if err != nil {
+			return err
+		}
+		q = int(n)
+	}
+	if q < 0 || q > 63 {
+		return fmt.Errorf("displacement %d out of range", q)
+	}
+	switch {
+	case store && useY:
+		b.Emit(STDY(q, reg))
+	case store:
+		b.Emit(STDZ(q, reg))
+	case useY:
+		b.Emit(LDDY(reg, q))
+	default:
+		b.Emit(LDDZ(reg, q))
+	}
+	return nil
+}

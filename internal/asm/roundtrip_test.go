@@ -1,0 +1,65 @@
+package asm_test
+
+import (
+	"strings"
+	"testing"
+
+	"mavr/internal/asm"
+	"mavr/internal/avr"
+	"mavr/internal/firmware"
+)
+
+// Disassembler -> assembler round trip: for every instruction in a
+// generated firmware image whose textual form the assembler accepts,
+// reassembling the disassembly must reproduce the original encoding.
+// (Relative branches print as ".+k" comments and are excluded; their
+// encodings are covered by the builder tests.)
+func TestDisasmAsmRoundTripOnFirmware(t *testing.T) {
+	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	pc := img.Layout.FuncRegionStart / 2
+	end := img.Layout.FuncRegionEnd / 2
+	for pc < end {
+		in := avr.DecodeAt(img.Flash, pc)
+		if in.Op == avr.OpInvalid {
+			t.Fatalf("invalid opcode at 0x%X", pc*2)
+		}
+		text := asm.FormatInstr(in, pc)
+		if roundTrippable(in, text) {
+			words, err := asm.Assemble(text)
+			if err != nil {
+				t.Fatalf("0x%X: %q does not assemble: %v", pc*2, text, err)
+			}
+			orig := img.Flash[pc*2 : pc*2+uint32(in.Words)*2]
+			if len(words) != len(orig) {
+				t.Fatalf("0x%X: %q reassembled to %d bytes, want %d", pc*2, text, len(words), len(orig))
+			}
+			for i := range orig {
+				if words[i] != orig[i] {
+					t.Fatalf("0x%X: %q round trip mismatch: % X vs % X", pc*2, text, words, orig)
+				}
+			}
+			checked++
+		}
+		pc += uint32(in.Words)
+	}
+	if checked < 500 {
+		t.Fatalf("only %d instructions round-tripped — coverage too thin", checked)
+	}
+	t.Logf("round-tripped %d instructions", checked)
+}
+
+// roundTrippable excludes forms whose textual rendering is not
+// assembler input (relative branches with ".+k" targets, movw's pair
+// syntax, adiw's pair syntax).
+func roundTrippable(in avr.Instr, text string) bool {
+	switch in.Op {
+	case avr.OpRJMP, avr.OpRCALL, avr.OpBRBS, avr.OpBRBC,
+		avr.OpMOVW, avr.OpADIW, avr.OpSBIW:
+		return false
+	}
+	return !strings.Contains(text, "(invalid)")
+}

@@ -1,0 +1,80 @@
+package attack_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavr/internal/attack"
+	"mavr/internal/core"
+	"mavr/internal/firmware"
+)
+
+// §VI-B4 made concrete: the prototype's serial bootloader sits at a
+// fixed flash address, so gadgets inside it survive every
+// randomization. An attacker using only bootloader gadgets defeats the
+// randomization's goal for the write itself (the clean return still
+// breaks, so the attack is detectable — but the damage is done).
+func TestBootloaderGadgetsSurviveRandomization(t *testing.T) {
+	img := genImage(t)
+	if img.Bootloader == nil {
+		t.Fatal("test app has no bootloader")
+	}
+	a := analyze(t, img)
+	if err := a.UseFixedGadgets(img.Bootloader, firmware.BootloaderStart); err != nil {
+		t.Fatal(err)
+	}
+	if a.StkMove.Addr*2 < firmware.BootloaderStart {
+		t.Fatal("fixed gadget not in the boot section")
+	}
+	payload, err := attack.BuildV1(a, attack.GyroCfgWrite(0x6A))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pre, err := core.Preprocess(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 3; trial++ {
+		r, err := core.Randomize(pre, core.Permutation(rng, len(pre.Blocks)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Overlay the (unrandomized, resident) bootloader.
+		full := make([]byte, len(img.FullFlash()))
+		copy(full, r.Image)
+		copy(full[firmware.BootloaderStart:], img.Bootloader)
+
+		sim, err := attack.NewSim(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SendFrame(attack.Frame(payload))
+		_ = sim.Deliver(attack.Frame(payload), 300_000)
+		if got := sim.CPU.Data[firmware.AddrGyroCfg]; got != 0x6A {
+			t.Errorf("trial %d: bootloader-gadget write did not land (0x%02X)", trial, got)
+		}
+	}
+}
+
+// The same attack is impossible on a hardware-ISP build: with no
+// resident bootloader there are no fixed gadgets to build on.
+func TestHardwareISPRemovesFixedGadgets(t *testing.T) {
+	spec := firmware.TestApp()
+	spec.Bootloader = false
+	img, err := firmware.Generate(spec, firmware.ModeMAVR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bootloader != nil {
+		t.Fatal("ISP build still ships a bootloader")
+	}
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UseFixedGadgets(nil, firmware.BootloaderStart); err == nil {
+		t.Error("found fixed gadgets without a bootloader")
+	}
+}

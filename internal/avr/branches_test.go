@@ -1,0 +1,236 @@
+package avr_test
+
+import (
+	"testing"
+
+	"mavr/internal/asm"
+	"mavr/internal/avr"
+)
+
+// Every conditional branch condition, taken and not taken, for each of
+// the eight SREG flags.
+func TestBranchConditionsAllFlags(t *testing.T) {
+	for flag := 0; flag < 8; flag++ {
+		for _, set := range []bool{false, true} {
+			// brbs flag, +1 : skips the marker ldi when flag is set.
+			b := asm.NewBuilder()
+			b.Emit(asm.BRBS(flag, 1))
+			b.Emit(asm.LDI(20, 0xAA)) // executed only if NOT taken
+			b.Emit(asm.LDI(21, 0xBB))
+			b.Emit(asm.SLEEP)
+			img, err := b.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := avr.New()
+			if err := c.LoadFlash(img); err != nil {
+				t.Fatal(err)
+			}
+			c.SetFlag(flag, set)
+			for i := 0; i < 10 && c.Step() == nil; i++ {
+			}
+			taken := c.Reg(20) == 0
+			if taken != set {
+				t.Errorf("brbs flag %d with flag=%v: taken=%v", flag, set, taken)
+			}
+			if c.Reg(21) != 0xBB {
+				t.Errorf("brbs flag %d: fallthrough lost", flag)
+			}
+
+			// brbc: the complement.
+			b2 := asm.NewBuilder()
+			b2.Emit(asm.BRBC(flag, 1))
+			b2.Emit(asm.LDI(20, 0xAA))
+			b2.Emit(asm.SLEEP)
+			img2, err := b2.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2 := avr.New()
+			if err := c2.LoadFlash(img2); err != nil {
+				t.Fatal(err)
+			}
+			c2.SetFlag(flag, set)
+			for i := 0; i < 10 && c2.Step() == nil; i++ {
+			}
+			if taken := c2.Reg(20) == 0; taken != !set {
+				t.Errorf("brbc flag %d with flag=%v: taken=%v", flag, set, taken)
+			}
+		}
+	}
+}
+
+func TestBackwardBranch(t *testing.T) {
+	c := run(t, `
+		ldi r16, 5
+	loop:
+		dec r16
+		brne loop
+		ldi r17, 1
+		sleep
+	`, 40)
+	if c.Reg(16) != 0 || c.Reg(17) != 1 {
+		t.Errorf("countdown loop broken: r16=%d r17=%d", c.Reg(16), c.Reg(17))
+	}
+}
+
+func TestBLDBSTBitTransfer(t *testing.T) {
+	c := run(t, `
+		ldi r16, 0x04  ; bit 2 set
+		bst r16, 2     ; T = 1
+		ldi r17, 0x00
+		bld r17, 7     ; r17 bit7 = T
+		bst r16, 0     ; T = 0
+		bld r17, 6
+		sleep
+	`, 10)
+	if got := c.Reg(17); got != 0x80 {
+		t.Errorf("r17 = 0x%02X, want 0x80", got)
+	}
+}
+
+func TestSBICSBISOnIOPorts(t *testing.T) {
+	c := run(t, `
+		sbi 0x05, 3    ; PORTB bit 3
+		sbis 0x05, 3
+		ldi r20, 0xAA  ; skipped (sbis skips when bit set)
+		sbic 0x05, 3
+		ldi r21, 0xBB  ; executed (sbic skips only when bit clear)
+		cbi 0x05, 3
+		sbic 0x05, 3
+		ldi r22, 0xCC  ; skipped (bit now clear)
+		sleep
+	`, 20)
+	if c.Reg(20) != 0 {
+		t.Error("sbis did not skip on set bit")
+	}
+	if c.Reg(21) != 0xBB {
+		t.Error("sbic skipped although bit set")
+	}
+	if c.Reg(22) != 0 {
+		t.Error("sbic did not skip after cbi")
+	}
+}
+
+// EICALL/EIJMP use EIND:Z; ELPM crosses the 64KB boundary via RAMPZ.
+func TestExtendedIndirectAndELPM(t *testing.T) {
+	b := asm.NewBuilder()
+	// Place a data byte above 128KB and read it via ELPM.
+	b.Emit(asm.LDI(24, 0x02)) // RAMPZ = 2 -> byte addr 0x20000+
+	b.Emit(asm.OUT(avr.IOAddrRAMPZ, 24))
+	b.Emit(asm.LDI(30, 0x10), asm.LDI(31, 0x00)) // Z = 0x0010
+	b.Emit(asm.ELPMZ(16))                        // reads flash[0x20010]
+	// EICALL a function above 64K words: EIND=1, Z = target & 0xFFFF.
+	b.Emit(asm.LDI(24, 1))
+	b.Emit(asm.OUT(avr.IOAddrEIND, 24))
+	b.Emit(asm.LDI(30, 0x08), asm.LDI(31, 0x00)) // word 0x10008
+	b.Emit(asm.EICALL)
+	b.Emit(asm.SLEEP)
+	img, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]byte, 0x21000)
+	for i := range full {
+		full[i] = 0xFF
+	}
+	copy(full, img)
+	full[0x20010] = 0x5E
+	// Far function at word 0x10008 (byte 0x20010+... word 0x10008 = byte 0x20010).
+	far := asm.LDI(17, 0x42)
+	full[0x20010] = byte(far)
+	full[0x20011] = byte(far >> 8)
+	ret := asm.RET
+	full[0x20012] = byte(ret)
+	full[0x20013] = byte(ret >> 8)
+
+	c := avr.New()
+	if err := c.LoadFlash(full); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30 && c.Step() == nil; i++ {
+	}
+	if c.Fault() != nil {
+		t.Fatalf("fault: %v", c.Fault())
+	}
+	if got := c.Reg(16); got != byte(far) {
+		t.Errorf("elpm read 0x%02X, want 0x%02X (flash above 128KB)", got, byte(far))
+	}
+	if got := c.Reg(17); got != 0x42 {
+		t.Errorf("eicall target did not run (r17=0x%02X)", got)
+	}
+}
+
+func TestIJMPUsesZOnly(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Emit(asm.LDI(30, 4), asm.LDI(31, 0)) // Z = word 4
+	b.Emit(asm.IJMP)
+	b.Emit(asm.LDI(20, 0xAA)) // word 3: must be skipped
+	b.Label("target")         // word 4
+	b.Emit(asm.LDI(21, 0xBB))
+	b.Emit(asm.SLEEP)
+	img, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := avr.New()
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10 && c.Step() == nil; i++ {
+	}
+	if c.Reg(20) != 0 || c.Reg(21) != 0xBB {
+		t.Errorf("ijmp broken: r20=%02X r21=%02X", c.Reg(20), c.Reg(21))
+	}
+}
+
+func TestOnStepHookObservesExecution(t *testing.T) {
+	img, err := asm.Assemble(`
+		ldi r16, 1
+		inc r16
+		sleep
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := avr.New()
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	var ops []avr.Op
+	c.OnStep = func(pc uint32, in avr.Instr) { ops = append(ops, in.Op) }
+	for i := 0; i < 5 && c.Step() == nil; i++ {
+	}
+	want := []avr.Op{avr.OpLDI, avr.OpINC, avr.OpSLEEP}
+	if len(ops) < 3 {
+		t.Fatalf("hook saw %d instructions", len(ops))
+	}
+	for i, w := range want {
+		if ops[i] != w {
+			t.Errorf("step %d: %v, want %v", i, ops[i], w)
+		}
+	}
+}
+
+func TestRunUntilAndCycleBudget(t *testing.T) {
+	img, err := asm.Assemble(`
+	loop:
+		inc r16
+		rjmp loop
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := avr.New()
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	ok, fault := c.RunUntil(1000, func(c *avr.CPU) bool { return c.Reg(16) >= 10 })
+	if !ok || fault != nil {
+		t.Fatalf("RunUntil failed: ok=%v fault=%v", ok, fault)
+	}
+	used, fault := c.Run(100)
+	if fault != nil || used < 100 {
+		t.Errorf("Run consumed %d cycles, fault=%v", used, fault)
+	}
+}

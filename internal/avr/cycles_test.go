@@ -1,0 +1,170 @@
+package avr_test
+
+import (
+	"testing"
+
+	"mavr/internal/asm"
+	"mavr/internal/avr"
+)
+
+func lds16() []uint16 { w := asm.LDS(16, 0x200); return w[:] }
+func jmp2() []uint16  { w := asm.JMP(2); return w[:] }
+
+// cyclesOf measures the cycle cost of executing the given words once.
+func cyclesOf(t *testing.T, words []uint16, steps int) uint64 {
+	t.Helper()
+	c := avr.New()
+	img := make([]byte, len(words)*2+4)
+	for i, w := range words {
+		img[i*2] = byte(w)
+		img[i*2+1] = byte(w >> 8)
+	}
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	return c.Cycles
+}
+
+// Datasheet cycle counts for the instructions whose timing the board
+// model depends on (3-byte-PC device values).
+func TestCycleCounts(t *testing.T) {
+	tests := []struct {
+		name  string
+		words []uint16
+		steps int
+		want  uint64
+	}{
+		{"alu_1cycle", []uint16{asm.ADD(16, 17)}, 1, 1},
+		{"ldi_1cycle", []uint16{asm.LDI(16, 1)}, 1, 1},
+		{"lds_2cycles", lds16(), 1, 2},
+		{"push_2cycles", []uint16{asm.PUSH(16)}, 1, 2},
+		{"pop_2cycles", []uint16{asm.POP(16)}, 1, 2},
+		{"jmp_3cycles", jmp2(), 1, 3},
+		{"rjmp_2cycles", []uint16{asm.RJMP(0)}, 1, 2},
+		{"lpm_3cycles", []uint16{asm.LPMZ(16)}, 1, 3},
+		{"in_1cycle", []uint16{asm.IN(16, 0x05)}, 1, 1},
+		{"mul_2cycles", []uint16{asm.MUL(16, 17)}, 1, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := cyclesOf(t, tt.words, tt.steps); got != tt.want {
+				t.Errorf("cycles = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCallRetCycleCost(t *testing.T) {
+	// call (5) + ret (5) on a 3-byte-PC device.
+	b := asm.NewBuilder()
+	b.CALL("fn")
+	b.Emit(asm.SLEEP)
+	b.Label("fn")
+	b.Emit(asm.RET)
+	img, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := avr.New()
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err != nil { // call
+		t.Fatal(err)
+	}
+	if c.Cycles != 5 {
+		t.Errorf("call = %d cycles, want 5", c.Cycles)
+	}
+	if err := c.Step(); err != nil { // ret
+		t.Fatal(err)
+	}
+	if c.Cycles != 10 {
+		t.Errorf("call+ret = %d cycles, want 10", c.Cycles)
+	}
+}
+
+func TestBranchTakenCostsExtraCycle(t *testing.T) {
+	// Taken branch: 2 cycles; not taken: 1.
+	taken := cyclesOf(t, []uint16{asm.BRBC(avr.FlagZ, 0)}, 1) // Z clear -> taken
+	if taken != 2 {
+		t.Errorf("taken branch = %d cycles, want 2", taken)
+	}
+	notTaken := cyclesOf(t, []uint16{asm.BRBS(avr.FlagZ, 0)}, 1) // Z clear -> not taken
+	if notTaken != 1 {
+		t.Errorf("untaken branch = %d cycles, want 1", notTaken)
+	}
+}
+
+func TestSkipCostsFollowInstructionSize(t *testing.T) {
+	// Skipping a one-word instruction costs 2 cycles total; skipping a
+	// two-word instruction costs 3.
+	oneWord := cyclesOf(t, []uint16{asm.SBRS(1, 0) /* r1=0: no skip */}, 1)
+	if oneWord != 1 {
+		t.Errorf("sbrs no-skip = %d, want 1", oneWord)
+	}
+	c := avr.New()
+	b := asm.NewBuilder()
+	b.Emit(asm.SBRC(1, 0)) // r1 bit0 clear -> skip next
+	b.Emit2(asm.STS(0x300, 16))
+	b.Emit(asm.SLEEP)
+	img, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != 3 {
+		t.Errorf("sbrc skipping 2-word sts = %d cycles, want 3", c.Cycles)
+	}
+	if c.PC != 3 {
+		t.Errorf("PC = %d after skip, want 3", c.PC)
+	}
+}
+
+// The interrupt entry cost (push 3-byte PC + vector) is 5 cycles.
+func TestInterruptEntryCycles(t *testing.T) {
+	c := avr.New()
+	img, err := asm.Assemble(`
+		jmp start
+	.org 0x2E
+		jmp start
+	.org 0x40
+	start:
+		sei
+		nop
+		nop
+		nop
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	// jmp(3) + sei(1) + nop(1; sei delay slot)
+	for i := 0; i < 3; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Cycles
+	c.RaiseInterrupt(avr.VectorTimer0Ovf)
+	if err := c.Step(); err != nil { // interrupt dispatch
+		t.Fatal(err)
+	}
+	if got := c.Cycles - before; got != 5 {
+		t.Errorf("interrupt entry = %d cycles, want 5", got)
+	}
+	if c.PC != avr.VectorTimer0Ovf*2 {
+		t.Errorf("PC = 0x%X, want vector slot", c.PC)
+	}
+}

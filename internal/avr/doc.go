@@ -1,0 +1,26 @@
+// Package avr implements a cycle-counted simulator for the Atmel
+// ATmega2560 8-bit AVR microcontroller, the application processor on the
+// ArduPilot Mega 2.5 board targeted by the MAVR paper.
+//
+// The simulator models the properties the paper's attacks and defense
+// depend on:
+//
+//   - Harvard architecture: physically separate program (flash) and data
+//     (SRAM) memories. The program counter can never point into data
+//     memory, so classic code injection is impossible; only code reuse
+//     (ROP) works.
+//   - Memory-mapped register file and I/O space: registers r0..r31 live at
+//     data addresses 0x00..0x1F, the stack pointer at I/O 0x3D/0x3E and
+//     SREG at I/O 0x3F, which is what makes the paper's stk_move gadget
+//     ("out 0x3e, r29; out 0x3d, r28") able to relocate SP.
+//   - 17-bit program counter: the ATmega2560 has 256KB of flash (128K
+//     words), so CALL pushes a 3-byte return address and RET pops 3 bytes.
+//     On-stack return addresses are big-endian in ascending memory,
+//     matching the hex dumps in the paper's Fig. 6.
+//   - A fault model (invalid opcode, PC out of range, stack underflow into
+//     the register file) used by the MAVR master processor to detect
+//     failed ROP attempts.
+//
+// The instruction set implemented is the AVRe+ core subset used by
+// avr-gcc generated code plus everything the paper's gadgets require.
+package avr

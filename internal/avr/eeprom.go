@@ -1,0 +1,39 @@
+package avr
+
+// EEPROM controller registers (data-space addresses). The 4 KB EEPROM
+// of Fig. 1 holds persistent configuration; programs access it through
+// EEAR/EEDR/EECR exactly as on hardware.
+const (
+	AddrEECR  = 0x3F // io 0x1F
+	AddrEEDR  = 0x40 // io 0x20
+	AddrEEARL = 0x41 // io 0x21
+	AddrEEARH = 0x42 // io 0x22
+)
+
+// EECR bits.
+const (
+	BitEERE  = 0 // read enable (strobe)
+	BitEEPE  = 1 // program enable (strobe, requires EEMPE armed)
+	BitEEMPE = 2 // master program enable (arms EEPE for 4 cycles)
+)
+
+// installEEPROM wires the EEPROM controller into the I/O space. Reads
+// and writes take effect immediately (the multi-millisecond programming
+// time is irrelevant to the simulated experiments).
+func (c *CPU) installEEPROM() {
+	armedUntil := uint64(0)
+	c.HookWrite(AddrEECR, func(v byte) {
+		addr := (uint16(c.Data[AddrEEARH])<<8 | uint16(c.Data[AddrEEARL])) % EEPROMSize
+		if v&(1<<BitEEMPE) != 0 {
+			armedUntil = c.Cycles + 4
+		}
+		if v&(1<<BitEERE) != 0 {
+			c.Data[AddrEEDR] = c.EEPROM[addr]
+		}
+		if v&(1<<BitEEPE) != 0 && c.Cycles <= armedUntil {
+			c.EEPROM[addr] = c.Data[AddrEEDR]
+		}
+		// Strobe bits auto-clear.
+		c.Data[AddrEECR] = v &^ (1<<BitEERE | 1<<BitEEPE)
+	})
+}

@@ -1,0 +1,417 @@
+package avr
+
+// Approximate cycle costs. Branch/skip costs are adjusted at execution
+// time. These follow the ATmega2560 datasheet for the common cases.
+func baseCycles(op Op) uint64 {
+	switch op {
+	case OpJMP:
+		return 3
+	case OpCALL:
+		return 5 // 3-byte PC device
+	case OpRCALL:
+		return 4
+	case OpRJMP, OpIJMP, OpADIW, OpSBIW, OpPUSH, OpPOP, OpMUL, OpMULS, OpMULSU, OpFMUL,
+		OpLDX, OpLDXInc, OpLDXDec, OpLDYInc, OpLDYDec, OpLDZInc, OpLDZDec,
+		OpLDDY, OpLDDZ, OpSTX, OpSTXInc, OpSTXDec, OpSTYInc, OpSTYDec,
+		OpSTZInc, OpSTZDec, OpSTDY, OpSTDZ, OpLDS, OpSTS, OpCBI, OpSBI:
+		return 2
+	case OpEIJMP:
+		return 2
+	case OpICALL, OpEICALL:
+		return 4
+	case OpRET, OpRETI:
+		return 5 // 3-byte PC device
+	case OpLPM, OpLPMZ, OpLPMZInc, OpELPM, OpELPMZ, OpELPMZInc:
+		return 3
+	}
+	return 1
+}
+
+func (c *CPU) exec(in Instr, w0 uint16) {
+	next := c.PC + uint32(in.Words)
+	c.Cycles += baseCycles(in.Op)
+
+	switch in.Op {
+	case OpInvalid:
+		c.raise(FaultInvalidOpcode, w0)
+		return
+
+	case OpNOP, OpWDR:
+		// WDR is handled by the board model, not the core.
+
+	case OpSPM:
+		c.execSPM()
+
+	case OpSLEEP:
+		c.Sleeping = true
+
+	case OpBREAK:
+		c.raise(FaultBreak, w0)
+		return
+
+	case OpMOVW:
+		c.SetRegPair(in.D, c.RegPair(in.R))
+
+	case OpADD:
+		c.SetReg(in.D, c.addFlags(c.Reg(in.D), c.Reg(in.R), false))
+	case OpADC:
+		c.SetReg(in.D, c.addFlags(c.Reg(in.D), c.Reg(in.R), c.Flag(FlagC)))
+	case OpSUB:
+		c.SetReg(in.D, c.subFlags(c.Reg(in.D), c.Reg(in.R), false, false))
+	case OpSBC:
+		c.SetReg(in.D, c.subFlags(c.Reg(in.D), c.Reg(in.R), c.Flag(FlagC), true))
+	case OpSUBI:
+		c.SetReg(in.D, c.subFlags(c.Reg(in.D), byte(in.K), false, false))
+	case OpSBCI:
+		c.SetReg(in.D, c.subFlags(c.Reg(in.D), byte(in.K), c.Flag(FlagC), true))
+	case OpCP:
+		c.subFlags(c.Reg(in.D), c.Reg(in.R), false, false)
+	case OpCPC:
+		c.subFlags(c.Reg(in.D), c.Reg(in.R), c.Flag(FlagC), true)
+	case OpCPI:
+		c.subFlags(c.Reg(in.D), byte(in.K), false, false)
+
+	case OpAND:
+		c.SetReg(in.D, c.logicFlags(c.Reg(in.D)&c.Reg(in.R)))
+	case OpANDI:
+		c.SetReg(in.D, c.logicFlags(c.Reg(in.D)&byte(in.K)))
+	case OpOR:
+		c.SetReg(in.D, c.logicFlags(c.Reg(in.D)|c.Reg(in.R)))
+	case OpORI:
+		c.SetReg(in.D, c.logicFlags(c.Reg(in.D)|byte(in.K)))
+	case OpEOR:
+		c.SetReg(in.D, c.logicFlags(c.Reg(in.D)^c.Reg(in.R)))
+	case OpMOV:
+		c.SetReg(in.D, c.Reg(in.R))
+	case OpLDI:
+		c.SetReg(in.D, byte(in.K))
+
+	case OpCOM:
+		v := ^c.Reg(in.D)
+		c.logicFlags(v)
+		c.SetFlag(FlagC, true)
+		c.SetReg(in.D, v)
+	case OpNEG:
+		c.SetReg(in.D, c.subFlags(0, c.Reg(in.D), false, false))
+	case OpSWAP:
+		v := c.Reg(in.D)
+		c.SetReg(in.D, v<<4|v>>4)
+	case OpINC:
+		v := c.Reg(in.D) + 1
+		c.SetFlag(FlagV, v == 0x80)
+		c.nzs(v)
+		c.SetReg(in.D, v)
+	case OpDEC:
+		v := c.Reg(in.D) - 1
+		c.SetFlag(FlagV, v == 0x7F)
+		c.nzs(v)
+		c.SetReg(in.D, v)
+	case OpASR:
+		v := c.Reg(in.D)
+		res := v>>1 | v&0x80
+		c.shiftFlags(res, v&1 != 0)
+		c.SetReg(in.D, res)
+	case OpLSR:
+		v := c.Reg(in.D)
+		res := v >> 1
+		c.shiftFlags(res, v&1 != 0)
+		c.SetReg(in.D, res)
+	case OpROR:
+		v := c.Reg(in.D)
+		res := v >> 1
+		if c.Flag(FlagC) {
+			res |= 0x80
+		}
+		c.shiftFlags(res, v&1 != 0)
+		c.SetReg(in.D, res)
+
+	case OpMUL:
+		r := uint16(c.Reg(in.D)) * uint16(c.Reg(in.R))
+		c.SetRegPair(0, r)
+		c.SetFlag(FlagC, r&0x8000 != 0)
+		c.SetFlag(FlagZ, r == 0)
+	case OpMULS:
+		r := int16(int8(c.Reg(in.D))) * int16(int8(c.Reg(in.R)))
+		c.SetRegPair(0, uint16(r))
+		c.SetFlag(FlagC, uint16(r)&0x8000 != 0)
+		c.SetFlag(FlagZ, r == 0)
+	case OpMULSU, OpFMUL:
+		r := int16(int8(c.Reg(in.D))) * int16(c.Reg(in.R))
+		if in.Op == OpFMUL {
+			r <<= 1
+		}
+		c.SetRegPair(0, uint16(r))
+		c.SetFlag(FlagC, uint16(r)&0x8000 != 0)
+		c.SetFlag(FlagZ, r == 0)
+
+	case OpADIW:
+		v := c.RegPair(in.D)
+		res := v + uint16(in.K)
+		c.SetRegPair(in.D, res)
+		c.SetFlag(FlagC, res < v)
+		c.SetFlag(FlagZ, res == 0)
+		c.SetFlag(FlagN, res&0x8000 != 0)
+		c.SetFlag(FlagV, v&0x8000 == 0 && res&0x8000 != 0)
+		c.SetFlag(FlagS, c.Flag(FlagN) != c.Flag(FlagV))
+	case OpSBIW:
+		v := c.RegPair(in.D)
+		res := v - uint16(in.K)
+		c.SetRegPair(in.D, res)
+		c.SetFlag(FlagC, res > v)
+		c.SetFlag(FlagZ, res == 0)
+		c.SetFlag(FlagN, res&0x8000 != 0)
+		c.SetFlag(FlagV, v&0x8000 != 0 && res&0x8000 == 0)
+		c.SetFlag(FlagS, c.Flag(FlagN) != c.Flag(FlagV))
+
+	case OpBSET:
+		if in.D == FlagI && !c.Flag(FlagI) {
+			c.intSuppress = true // sei delay
+		}
+		c.SetFlag(in.D, true)
+	case OpBCLR:
+		c.SetFlag(in.D, false)
+	case OpBLD:
+		v := c.Reg(in.D)
+		if c.Flag(FlagT) {
+			v |= 1 << in.B
+		} else {
+			v &^= 1 << in.B
+		}
+		c.SetReg(in.D, v)
+	case OpBST:
+		c.SetFlag(FlagT, c.Reg(in.D)&(1<<in.B) != 0)
+
+	case OpIN:
+		c.SetReg(in.D, c.ReadData(uint16(IOBase+in.A)))
+	case OpOUT:
+		c.WriteData(uint16(IOBase+in.A), c.Reg(in.D))
+	case OpCBI:
+		a := uint16(IOBase + in.A)
+		c.WriteData(a, c.ReadData(a)&^(1<<in.B))
+	case OpSBI:
+		a := uint16(IOBase + in.A)
+		c.WriteData(a, c.ReadData(a)|1<<in.B)
+
+	case OpLDS:
+		c.SetReg(in.D, c.ReadData(uint16(in.Target)))
+	case OpSTS:
+		c.WriteData(uint16(in.Target), c.Reg(in.D))
+
+	case OpLDX, OpLDXInc, OpLDXDec, OpSTX, OpSTXInc, OpSTXDec:
+		c.execIndirect(in, RegXL)
+	case OpLDYInc, OpLDYDec, OpSTYInc, OpSTYDec:
+		c.execIndirect(in, RegYL)
+	case OpLDZInc, OpLDZDec, OpSTZInc, OpSTZDec:
+		c.execIndirect(in, RegZL)
+	case OpLDDY:
+		c.SetReg(in.D, c.ReadData(c.RegPair(RegYL)+uint16(in.Q)))
+	case OpLDDZ:
+		c.SetReg(in.D, c.ReadData(c.RegPair(RegZL)+uint16(in.Q)))
+	case OpSTDY:
+		c.WriteData(c.RegPair(RegYL)+uint16(in.Q), c.Reg(in.D))
+	case OpSTDZ:
+		c.WriteData(c.RegPair(RegZL)+uint16(in.Q), c.Reg(in.D))
+
+	case OpLPM:
+		c.SetReg(0, c.lpmByte(uint32(c.RegPair(RegZL))))
+	case OpLPMZ:
+		c.SetReg(in.D, c.lpmByte(uint32(c.RegPair(RegZL))))
+	case OpLPMZInc:
+		z := c.RegPair(RegZL)
+		c.SetReg(in.D, c.lpmByte(uint32(z)))
+		c.SetRegPair(RegZL, z+1)
+	case OpELPM:
+		c.SetReg(0, c.lpmByte(c.extZ()))
+	case OpELPMZ:
+		c.SetReg(in.D, c.lpmByte(c.extZ()))
+	case OpELPMZInc:
+		z := c.extZ()
+		c.SetReg(in.D, c.lpmByte(z))
+		z++
+		c.SetRegPair(RegZL, uint16(z))
+		c.Data[IOBase+IOAddrRAMPZ] = byte(z >> 16)
+
+	case OpPUSH:
+		c.PushByte(c.Reg(in.D))
+	case OpPOP:
+		c.SetReg(in.D, c.PopByte())
+
+	case OpRJMP:
+		c.setPC(uint32(int64(next) + int64(in.K)))
+		return
+	case OpJMP:
+		c.setPC(in.Target)
+		return
+	case OpIJMP:
+		c.setPC(uint32(c.RegPair(RegZL)))
+		return
+	case OpEIJMP:
+		c.setPC(c.eindZ())
+		return
+	case OpRCALL:
+		c.PushPC(next)
+		c.setPC(uint32(int64(next) + int64(in.K)))
+		return
+	case OpCALL:
+		c.PushPC(next)
+		c.setPC(in.Target)
+		return
+	case OpICALL:
+		c.PushPC(next)
+		c.setPC(uint32(c.RegPair(RegZL)))
+		return
+	case OpEICALL:
+		c.PushPC(next)
+		c.setPC(c.eindZ())
+		return
+	case OpRET:
+		c.setPC(c.PopPC())
+		return
+	case OpRETI:
+		c.SetFlag(FlagI, true)
+		c.intSuppress = true // one main-program instruction runs first
+		c.setPC(c.PopPC())
+		return
+
+	case OpBRBS:
+		if c.Flag(in.D) {
+			c.Cycles++
+			c.setPC(uint32(int64(next) + int64(in.K)))
+			return
+		}
+	case OpBRBC:
+		if !c.Flag(in.D) {
+			c.Cycles++
+			c.setPC(uint32(int64(next) + int64(in.K)))
+			return
+		}
+
+	case OpCPSE:
+		if c.Reg(in.D) == c.Reg(in.R) {
+			next = c.skipNext(next)
+		}
+	case OpSBRC:
+		if c.Reg(in.D)&(1<<in.B) == 0 {
+			next = c.skipNext(next)
+		}
+	case OpSBRS:
+		if c.Reg(in.D)&(1<<in.B) != 0 {
+			next = c.skipNext(next)
+		}
+	case OpSBIC:
+		if c.ReadData(uint16(IOBase+in.A))&(1<<in.B) == 0 {
+			next = c.skipNext(next)
+		}
+	case OpSBIS:
+		if c.ReadData(uint16(IOBase+in.A))&(1<<in.B) != 0 {
+			next = c.skipNext(next)
+		}
+	}
+
+	c.setPC(next)
+}
+
+func (c *CPU) setPC(pc uint32) {
+	if pc >= FlashWords {
+		c.PC = pc
+		c.raise(FaultPCOutOfRange, 0)
+		return
+	}
+	c.PC = pc
+}
+
+func (c *CPU) skipNext(next uint32) uint32 {
+	w := wordAt(c.Flash, next)
+	n := uint32(InstrWords(w))
+	c.Cycles += uint64(n)
+	return next + n
+}
+
+func (c *CPU) execIndirect(in Instr, lo int) {
+	p := c.RegPair(lo)
+	switch in.Op {
+	case OpLDXDec, OpLDYDec, OpLDZDec, OpSTXDec, OpSTYDec, OpSTZDec:
+		p--
+		c.SetRegPair(lo, p)
+	}
+	switch in.Op {
+	case OpLDX, OpLDXInc, OpLDXDec, OpLDYInc, OpLDYDec, OpLDZInc, OpLDZDec:
+		c.SetReg(in.D, c.ReadData(p))
+	default:
+		c.WriteData(p, c.Reg(in.D))
+	}
+	switch in.Op {
+	case OpLDXInc, OpLDYInc, OpLDZInc, OpSTXInc, OpSTYInc, OpSTZInc:
+		c.SetRegPair(lo, p+1)
+	}
+}
+
+func (c *CPU) lpmByte(addr uint32) byte {
+	if int(addr) >= len(c.Flash) {
+		return 0xFF
+	}
+	return c.Flash[addr]
+}
+
+func (c *CPU) extZ() uint32 {
+	return uint32(c.Data[IOBase+IOAddrRAMPZ])<<16 | uint32(c.RegPair(RegZL))
+}
+
+func (c *CPU) eindZ() uint32 {
+	return uint32(c.Data[IOBase+IOAddrEIND]&1)<<16 | uint32(c.RegPair(RegZL))
+}
+
+// nzs updates N, Z and S from result v (V must already be set).
+func (c *CPU) nzs(v byte) {
+	c.SetFlag(FlagN, v&0x80 != 0)
+	c.SetFlag(FlagZ, v == 0)
+	c.SetFlag(FlagS, c.Flag(FlagN) != c.Flag(FlagV))
+}
+
+func (c *CPU) addFlags(a, b byte, carry bool) byte {
+	ci := byte(0)
+	if carry {
+		ci = 1
+	}
+	r := a + b + ci
+	c.SetFlag(FlagH, (a&0xF+b&0xF+ci)&0x10 != 0)
+	c.SetFlag(FlagC, int(a)+int(b)+int(ci) > 0xFF)
+	c.SetFlag(FlagV, (a^r)&(b^r)&0x80 != 0)
+	c.nzs(r)
+	return r
+}
+
+// subFlags computes a-b-carry and updates flags. If keepZ is set, Z is
+// only cleared (never set), which is the cpc/sbc/sbci behaviour that
+// makes multi-byte compares work.
+func (c *CPU) subFlags(a, b byte, carry, keepZ bool) byte {
+	ci := byte(0)
+	if carry {
+		ci = 1
+	}
+	r := a - b - ci
+	c.SetFlag(FlagH, (b&0xF+ci) > a&0xF)
+	c.SetFlag(FlagC, int(b)+int(ci) > int(a))
+	c.SetFlag(FlagV, (a^b)&(a^r)&0x80 != 0)
+	prevZ := c.Flag(FlagZ)
+	c.nzs(r)
+	if keepZ && r == 0 {
+		c.SetFlag(FlagZ, prevZ)
+		c.SetFlag(FlagS, c.Flag(FlagN) != c.Flag(FlagV))
+	}
+	return r
+}
+
+func (c *CPU) logicFlags(v byte) byte {
+	c.SetFlag(FlagV, false)
+	c.nzs(v)
+	return v
+}
+
+func (c *CPU) shiftFlags(res byte, carryOut bool) {
+	c.SetFlag(FlagC, carryOut)
+	c.SetFlag(FlagZ, res == 0)
+	c.SetFlag(FlagN, res&0x80 != 0)
+	c.SetFlag(FlagV, c.Flag(FlagN) != c.Flag(FlagC))
+	c.SetFlag(FlagS, c.Flag(FlagN) != c.Flag(FlagV))
+}

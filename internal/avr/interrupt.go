@@ -1,0 +1,74 @@
+package avr
+
+// NumVectors is the ATmega2560 interrupt vector count (reset + 56
+// peripheral vectors). Each vector slot holds a two-word jmp, so vector
+// v lives at word address v*2.
+const NumVectors = 57
+
+// Well-known vector numbers used by the simulation.
+const (
+	// VectorReset is the reset vector.
+	VectorReset = 0
+	// VectorTimer0Ovf is TIMER0 OVF on the ATmega2560.
+	VectorTimer0Ovf = 23
+	// VectorUSART0RX is USART0 RX complete.
+	VectorUSART0RX = 25
+)
+
+// RaiseInterrupt marks vector v pending. It is dispatched before the
+// next instruction once the global interrupt flag allows it; pending
+// interrupts also wake the core from SLEEP.
+func (c *CPU) RaiseInterrupt(v int) {
+	if v <= 0 || v >= NumVectors {
+		return
+	}
+	c.pendingInts |= 1 << uint(v)
+}
+
+// PendingInterrupts reports whether any interrupt is waiting.
+func (c *CPU) PendingInterrupts() bool { return c.pendingInts != 0 }
+
+// dispatchInterrupt vectors to the lowest pending interrupt if the I
+// flag is set and no one-instruction SEI delay is in effect. It mirrors
+// the hardware: push the 3-byte return address, clear I, jump to the
+// vector slot. Returns true when an interrupt was taken.
+func (c *CPU) dispatchInterrupt() bool {
+	if c.pendingInts == 0 {
+		return false
+	}
+	if c.Sleeping {
+		// Wake regardless; the handler runs only if I is set.
+		c.Sleeping = false
+	}
+	if !c.Flag(FlagI) || c.intSuppress {
+		return false
+	}
+	var v int
+	for v = 1; v < NumVectors; v++ {
+		if c.pendingInts&(1<<uint(v)) != 0 {
+			break
+		}
+	}
+	c.pendingInts &^= 1 << uint(v)
+	c.PushPC(c.PC)
+	c.SetFlag(FlagI, false)
+	c.PC = uint32(v * 2)
+	c.Cycles += 5
+	return true
+}
+
+// noteSREGWrite implements the hardware rule that enabling the global
+// interrupt flag (sei, or any SREG write that sets I) delays interrupt
+// recognition by one instruction. This is what makes the epilogue idiom
+//
+//	in r0, SREG ; cli ; out SPH, r29 ; out SREG, r0 ; out SPL, r28
+//
+// atomic: the SPL write always executes before any pending interrupt,
+// even though SREG (with I possibly set) is restored between the two
+// stack-pointer writes. The paper's Fig. 4 stk_move gadget is exactly
+// this window.
+func (c *CPU) noteSREGWrite(old, new byte) {
+	if old&(1<<FlagI) == 0 && new&(1<<FlagI) != 0 {
+		c.intSuppress = true
+	}
+}

@@ -1,0 +1,60 @@
+package avr
+
+// Self-programming (SPM) support: the mechanism a resident bootloader
+// uses to rewrite the application flash (paper §VI-B4). The ATmega2560
+// programs in 256-byte pages through a temporary page buffer.
+const (
+	// SPMPageSize is the flash page size in bytes.
+	SPMPageSize = 256
+	// AddrSPMCSR is the store-program-memory control register
+	// (data-space address).
+	AddrSPMCSR = 0x57
+)
+
+// SPMCSR mode bits.
+const (
+	BitSPMEN = 0 // enable: buffer fill (alone) or qualifies the others
+	BitPGERS = 1 // page erase
+	BitPGWRT = 2 // page write
+)
+
+// execSPM performs one spm instruction using the mode in SPMCSR and the
+// flash byte address in RAMPZ:Z. Erase fills the page with 0xFF; fill
+// latches r1:r0 into the temporary buffer at Z's word offset; write
+// commits the buffer to the page.
+func (c *CPU) execSPM() {
+	mode := c.Data[AddrSPMCSR]
+	if mode&(1<<BitSPMEN) == 0 {
+		return
+	}
+	if !c.spmBufInit {
+		for i := range c.spmBuf {
+			c.spmBuf[i] = 0xFF
+		}
+		c.spmBufInit = true
+	}
+	addr := c.extZ()
+	page := int(addr) &^ (SPMPageSize - 1)
+	switch {
+	case mode&(1<<BitPGERS) != 0:
+		if page+SPMPageSize <= len(c.Flash) {
+			for i := 0; i < SPMPageSize; i++ {
+				c.Flash[page+i] = 0xFF
+			}
+		}
+	case mode&(1<<BitPGWRT) != 0:
+		if page+SPMPageSize <= len(c.Flash) {
+			copy(c.Flash[page:page+SPMPageSize], c.spmBuf[:])
+		}
+		for i := range c.spmBuf {
+			c.spmBuf[i] = 0xFF
+		}
+	default: // buffer fill
+		off := int(addr) & (SPMPageSize - 1) &^ 1
+		c.spmBuf[off] = c.Reg(0)
+		c.spmBuf[off+1] = c.Reg(1)
+	}
+	// The operation completes; the enable bit self-clears.
+	c.Data[AddrSPMCSR] = mode &^ (1<<BitSPMEN | 1<<BitPGERS | 1<<BitPGWRT)
+	c.Cycles += 4 // nominal busy time (real erase/write takes ~4ms)
+}

@@ -1,0 +1,310 @@
+package board_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mavr/internal/attack"
+	"mavr/internal/board"
+	"mavr/internal/core"
+	"mavr/internal/firmware"
+	"mavr/internal/mavlink"
+)
+
+func testImage(t *testing.T) *firmware.Image {
+	t.Helper()
+	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestUnprotectedBoardBootsAndFlies(t *testing.T) {
+	img := testImage(t)
+	sys := board.NewSystem(board.SystemConfig{Unprotected: true})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.DrainGCS()); got < firmware.PulseSize {
+		t.Errorf("telemetry bytes = %d, want pulses", got)
+	}
+	if sys.LastFault() != nil {
+		t.Errorf("unexpected fault: %v", sys.LastFault())
+	}
+}
+
+func TestMAVRBoardRandomizesOnBoot(t *testing.T) {
+	img := testImage(t)
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{Seed: 5}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Randomized {
+		t.Fatal("first boot did not randomize")
+	}
+	if rep.ImageBytes != len(img.Flash) {
+		t.Errorf("programmed %d bytes, want %d", rep.ImageBytes, len(img.Flash))
+	}
+	wantMs := int64(rep.ImageBytes) * 10 * 1000 / board.DefaultProgramBaud
+	if got := rep.Total.Milliseconds(); got != wantMs {
+		t.Errorf("startup overhead %dms, want %dms (115200-baud bottleneck)", got, wantMs)
+	}
+	// The board must fly after randomization.
+	if err := sys.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if sys.LastFault() != nil {
+		t.Fatalf("randomized firmware faulted: %v", sys.LastFault())
+	}
+	if len(sys.DrainGCS()) == 0 {
+		t.Error("no telemetry from randomized firmware")
+	}
+}
+
+func TestReadoutProtectionFuse(t *testing.T) {
+	img := testImage(t)
+	sys := board.NewSystem(board.SystemConfig{})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.App.ReadFlashExternally(); !errors.Is(err, board.ErrReadoutProtected) {
+		t.Errorf("readout succeeded despite fuse: %v", err)
+	}
+	// On the unprotected board a debugger can dump the binary.
+	open := board.NewSystem(board.SystemConfig{Unprotected: true})
+	if err := open.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := open.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := open.App.ReadFlashExternally()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump) == 0 {
+		t.Error("empty dump from unprotected board")
+	}
+}
+
+func TestRandomizeEveryPolicy(t *testing.T) {
+	img := testImage(t)
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{RandomizeEvery: 3, Seed: 1}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	randomized := 0
+	for i := 0; i < 6; i++ {
+		rep, err := sys.Boot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Randomized {
+			randomized++
+		}
+	}
+	if randomized != 2 {
+		t.Errorf("randomized %d of 6 boots, want 2 (every 3rd)", randomized)
+	}
+	if got := sys.Master.Stats().ProgramCycles; got != 2 {
+		t.Errorf("program cycles = %d, want 2 (flash endurance accounting)", got)
+	}
+}
+
+// A stale stealthy payload against the randomized board makes the
+// application processor execute garbage; the master's timing analysis
+// detects the missing feeds and reflashes with a fresh permutation —
+// the §V-C/§VII-A recovery loop.
+func TestWatchdogDetectsFailedAttackAndReflashes(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildV2(a, attack.GyroCfgWrite(0x55))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{
+		Seed:            42,
+		WatchdogTimeout: 20 * time.Millisecond,
+	}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(30 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	permBefore := sys.Master.CurrentPerm()
+
+	fr := &mavlink.Frame{MsgID: mavlink.MsgIDParamSet, Payload: payload}
+	sys.SendToUAV(fr.MarshalOversize())
+	// Enough simulated time for delivery, crash, detection and reflash.
+	if err := sys.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Master.Stats().FailuresDetected; got == 0 {
+		t.Fatal("watchdog never detected the failed attack")
+	}
+	if len(sys.Reflashes()) == 0 {
+		t.Fatal("no reflash after detection")
+	}
+	permAfter := sys.Master.CurrentPerm()
+	same := len(permBefore) == len(permAfter)
+	if same {
+		for i := range permBefore {
+			if permBefore[i] != permAfter[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("reflash reused the same permutation")
+	}
+	// The vehicle must be flying again.
+	sys.DrainGCS()
+	if err := sys.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.DrainGCS()) == 0 {
+		t.Error("no telemetry after recovery reflash")
+	}
+	if got := sys.App.CPU.Data[firmware.AddrGyroCfg]; got == 0x55 {
+		t.Error("attack write persisted through reflash")
+	}
+}
+
+// A legitimate parameter write must work end-to-end over the telemetry
+// link on a randomized board.
+func TestParamSetOverTelemetryOnMAVRBoard(t *testing.T) {
+	img := testImage(t)
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{Seed: 9}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	ps := &mavlink.ParamSet{ParamID: "RATE_RLL_P", ParamValue: 1.25}
+	payload := ps.Marshal()
+	fr := &mavlink.Frame{MsgID: mavlink.MsgIDParamSet, Payload: payload}
+	wire, err := fr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SendToUAV(wire)
+	if err := sys.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if sys.LastFault() != nil {
+		t.Fatalf("fault: %v", sys.LastFault())
+	}
+	got := sys.App.CPU.Data[firmware.AddrParamVal : firmware.AddrParamVal+4]
+	for i := 0; i < 4; i++ {
+		if got[i] != payload[i] {
+			t.Fatalf("param value % X, want % X", got, payload[:4])
+		}
+	}
+}
+
+func TestExternalFlashCapacity(t *testing.T) {
+	img := testImage(t)
+	pre, err := core.Preprocess(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := board.NewExternalFlash(1024)
+	if err := small.Store(pre); !errors.Is(err, board.ErrFlashFull) {
+		t.Errorf("want ErrFlashFull, got %v", err)
+	}
+	chip := board.NewExternalFlash(0)
+	if err := chip.Store(pre); err != nil {
+		t.Fatal(err)
+	}
+	if chip.Used() <= len(pre.Image) {
+		t.Error("stored size must include symbol information")
+	}
+	if _, err := chip.Load(); err != nil {
+		t.Error(err)
+	}
+	if _, err := board.NewExternalFlash(0).Load(); err == nil {
+		t.Error("empty chip loaded successfully")
+	}
+}
+
+// Table II: the full ArduPlane image programs in ~19209 ms at 115200
+// baud on the simulated clock.
+func TestTableIIStartupOverheadArduplane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generation")
+	}
+	img, err := firmware.Generate(firmware.Arduplane(), firmware.ModeMAVR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{Seed: 2}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := rep.Total.Milliseconds()
+	if ms < 19100 || ms > 19300 {
+		t.Errorf("ArduPlane startup overhead = %d ms, paper reports 19209 ms", ms)
+	}
+	// The external flash must fit ArduPlane + symbols, but only barely
+	// (§VI-B2's "perilously close" remark).
+	used, cap := sys.Flash.Used(), sys.Flash.Capacity()
+	if used > cap {
+		t.Fatalf("flash overflow: %d > %d", used, cap)
+	}
+	if float64(used)/float64(cap) < 0.8 {
+		t.Errorf("flash usage %d/%d — expected close to capacity", used, cap)
+	}
+}
+
+// A corrupted external flash (bit rot or tampering) must surface as a
+// randomize-time error, not silent mis-programming.
+func TestMasterFailsOnCorruptExternalFlash(t *testing.T) {
+	img := testImage(t)
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{Seed: 1}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	pre, err := sys.Flash.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored image inside a function body so the patch walk
+	// desynchronizes: four consecutive 0xFFFF words guarantee an
+	// invalid opcode regardless of instruction alignment.
+	off := int(pre.RegionStart) + 64
+	for i := 0; i < 8; i++ {
+		pre.Image[off+i] = 0xFF
+	}
+	if _, err := sys.Boot(); err == nil {
+		t.Error("boot succeeded with a corrupted external flash image")
+	}
+}

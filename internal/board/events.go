@@ -1,0 +1,55 @@
+package board
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind labels one entry in the board's event log.
+type EventKind int
+
+// Event kinds.
+const (
+	EventBoot EventKind = iota + 1
+	EventRandomized
+	EventFailureDetected
+	EventReflash
+	EventFault
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventBoot:
+		return "boot"
+	case EventRandomized:
+		return "randomized"
+	case EventFailureDetected:
+		return "failure-detected"
+	case EventReflash:
+		return "reflash"
+	case EventFault:
+		return "fault"
+	}
+	return "unknown"
+}
+
+// Event is one timeline entry.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	Note string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%8s  %-16s %s", e.At.Round(time.Millisecond), e.Kind, e.Note)
+}
+
+// Events returns the board's lifecycle timeline (boots, randomizations,
+// detections, reflashes, faults).
+func (s *System) Events() []Event {
+	return append([]Event(nil), s.events...)
+}
+
+func (s *System) logEvent(kind EventKind, format string, args ...any) {
+	s.events = append(s.events, Event{At: s.clock, Kind: kind, Note: fmt.Sprintf(format, args...)})
+}

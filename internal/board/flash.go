@@ -1,0 +1,74 @@
+// Package board simulates the MAVR hardware platform (paper §V-A,
+// §VI-A, Figs. 7-8): the ATmega2560 application processor, the
+// ATmega1284P master processor, the M95M02 external SPI flash holding
+// the preprocessed binary, the serial programming link between master
+// and application processor, the watchdog-style failure detection, and
+// the ground-station telemetry link — all on a single simulated clock,
+// so Table II's startup overhead is a measured quantity.
+package board
+
+import (
+	"errors"
+	"fmt"
+
+	"mavr/internal/core"
+)
+
+// ExternalFlashCapacity is the M95M02-DR capacity (2 Mbit), matching
+// the application processor's flash size as §V-A1 requires.
+const ExternalFlashCapacity = 256 * 1024
+
+// ExternalFlash models the external SPI EEPROM that stores the original
+// unrandomized binary plus the prepended symbol information. It is the
+// only entry point for new code; the application processor never reads
+// it, which isolates the original binary from the randomized one.
+type ExternalFlash struct {
+	capacity int
+	pre      *core.Preprocessed
+	used     int
+}
+
+// ErrFlashFull is returned when the preprocessed image exceeds the
+// chip (the exhaustion failure mode §VI-B2 warns about).
+var ErrFlashFull = errors.New("board: preprocessed image exceeds external flash capacity")
+
+// NewExternalFlash returns an empty chip of the given capacity (0 means
+// the M95M02 default).
+func NewExternalFlash(capacity int) *ExternalFlash {
+	if capacity == 0 {
+		capacity = ExternalFlashCapacity
+	}
+	return &ExternalFlash{capacity: capacity}
+}
+
+// Store writes the preprocessed binary onto the chip at flashing time.
+func (f *ExternalFlash) Store(p *core.Preprocessed) error {
+	size := StoredSize(p)
+	if size > f.capacity {
+		return fmt.Errorf("%w: %d > %d bytes", ErrFlashFull, size, f.capacity)
+	}
+	f.pre = p
+	f.used = size
+	return nil
+}
+
+// Load returns the stored preprocessed binary.
+func (f *ExternalFlash) Load() (*core.Preprocessed, error) {
+	if f.pre == nil {
+		return nil, errors.New("board: external flash is empty")
+	}
+	return f.pre, nil
+}
+
+// Used reports the bytes in use; Capacity the chip size.
+func (f *ExternalFlash) Used() int     { return f.used }
+func (f *ExternalFlash) Capacity() int { return f.capacity }
+
+// StoredSize is the binary footprint of a preprocessed image on the
+// chip: the flat binary plus the prepended symbol information — per
+// §VI-B2 only the ascending list of function start addresses (block
+// sizes are implied by the next start; names are irrelevant to the
+// master) and the function-pointer locations.
+func StoredSize(p *core.Preprocessed) int {
+	return 16 + len(p.Image) + 4*len(p.Blocks) + 4*len(p.PtrOffsets)
+}

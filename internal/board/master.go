@@ -1,0 +1,210 @@
+package board
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mavr/internal/core"
+)
+
+// Programming-path timing (paper §VII-B1): the prototype's master
+// programs the application processor over a 115200-baud serial
+// bootloader — about 11.5 bytes per millisecond, the startup-overhead
+// bottleneck. Reading from the SPI flash and patching are streamed and
+// overlap the serial transfer.
+const (
+	// DefaultProgramBaud is the prototype's bootloader baud rate.
+	DefaultProgramBaud = 115200
+	// ProductionProgramBaud approximates the paper's production
+	// estimate, where impedance-controlled traces allow mega-baud rates
+	// and internal flash write speed (~4 s for ArduPlane) dominates.
+	ProductionProgramBaud = 553600
+	// FlashEndurance is the ATmega2560 program-memory endurance
+	// (10,000 cycles), the reason §V-C randomizes on a schedule rather
+	// than every boot.
+	FlashEndurance = 10000
+)
+
+// MasterConfig tunes the master processor's policy.
+type MasterConfig struct {
+	// ProgramBaud is the master->application programming rate.
+	ProgramBaud int
+	// RandomizeEvery reprograms with a fresh permutation every Nth boot
+	// (1 = every boot). Failed-attack detection always re-randomizes.
+	RandomizeEvery int
+	// WatchdogTimeout is how long the master waits for a feed pulse
+	// before declaring a failed attack (§V-A2 timing analysis).
+	WatchdogTimeout time.Duration
+	// InstructionLevelProgramming routes every reprogramming through
+	// the resident bootloader's page protocol executed on the
+	// application core (SPM sequences and all) instead of the modeled
+	// write. Timing accounting is identical; this verifies the §VI-B4
+	// path end to end.
+	InstructionLevelProgramming bool
+	// Seed drives the master's permutation source.
+	Seed int64
+}
+
+func (c MasterConfig) withDefaults() MasterConfig {
+	if c.ProgramBaud == 0 {
+		c.ProgramBaud = DefaultProgramBaud
+	}
+	if c.RandomizeEvery == 0 {
+		c.RandomizeEvery = 1
+	}
+	if c.WatchdogTimeout == 0 {
+		c.WatchdogTimeout = 50 * time.Millisecond
+	}
+	return c
+}
+
+// StartupReport is one boot's programming cost (Table II).
+type StartupReport struct {
+	// Randomized says whether this boot reprogrammed the processor.
+	Randomized bool
+	// ImageBytes transferred.
+	ImageBytes int
+	// TransferTime is the serial programming time (the bottleneck).
+	TransferTime time.Duration
+	// Total startup overhead attributable to MAVR.
+	Total time.Duration
+}
+
+// MasterStats aggregates the master's lifetime counters.
+type MasterStats struct {
+	Boots            int
+	Randomizations   int
+	FailuresDetected int
+	ProgramCycles    int // flash endurance consumption
+}
+
+// Master is the ATmega1284P that owns the external flash, randomizes
+// the binary and programs the application processor.
+type Master struct {
+	cfg   MasterConfig
+	rng   *rand.Rand
+	flash *ExternalFlash
+	app   *AppProcessor
+
+	lastFeed       time.Duration
+	stats          MasterStats
+	currentPerm    []int
+	now            func() time.Duration
+	expectBoot     bool
+	unexpectedBoot bool
+}
+
+// NewMaster wires a master processor to its flash chip and application
+// processor. The now function supplies the simulated clock.
+func NewMaster(cfg MasterConfig, flash *ExternalFlash, app *AppProcessor, now func() time.Duration) *Master {
+	c := cfg.withDefaults()
+	m := &Master{
+		cfg:   c,
+		rng:   rand.New(rand.NewSource(c.Seed)),
+		flash: flash,
+		app:   app,
+		now:   now,
+	}
+	app.onFeed = func() { m.lastFeed = m.now() }
+	app.onBoot = func() {
+		if m.expectBoot {
+			m.expectBoot = false
+			m.lastFeed = m.now()
+			return
+		}
+		// The application restarted without the master commanding it: a
+		// failed attack crashed the board into the reset vector.
+		m.unexpectedBoot = true
+	}
+	return m
+}
+
+// Stats returns the master's counters.
+func (m *Master) Stats() MasterStats { return m.stats }
+
+// CurrentPerm exposes the active permutation (test instrumentation —
+// physically unobservable thanks to the readout fuse).
+func (m *Master) CurrentPerm() []int { return append([]int(nil), m.currentPerm...) }
+
+// Boot performs one power-on: depending on the randomization schedule
+// it either reprograms the application processor with a freshly
+// randomized binary or starts the existing one (§V-C).
+func (m *Master) Boot(now time.Duration) (StartupReport, error) {
+	m.stats.Boots++
+	needRandomize := m.currentPerm == nil ||
+		(m.cfg.RandomizeEvery > 0 && (m.stats.Boots-1)%m.cfg.RandomizeEvery == 0)
+	if !needRandomize {
+		m.expectBoot = true
+		m.app.Reset(true)
+		m.lastFeed = now
+		return StartupReport{}, nil
+	}
+	return m.randomizeAndProgram(now)
+}
+
+// HandleFailure is invoked when the watchdog detects a failed ROP
+// attack: reset the board and immediately re-randomize (§V-D).
+func (m *Master) HandleFailure(now time.Duration) (StartupReport, error) {
+	m.stats.FailuresDetected++
+	return m.randomizeAndProgram(now)
+}
+
+// Poll runs the master's timing analysis: if the application processor
+// has not fed the watchdog within the timeout, a failed attack is
+// assumed. It returns the programming report when a reflash occurred.
+func (m *Master) Poll(now time.Duration) (*StartupReport, error) {
+	if m.currentPerm == nil {
+		return nil, nil
+	}
+	if !m.unexpectedBoot && now-m.lastFeed <= m.cfg.WatchdogTimeout {
+		return nil, nil
+	}
+	m.unexpectedBoot = false
+	rep, err := m.HandleFailure(now)
+	if err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+func (m *Master) randomizeAndProgram(now time.Duration) (StartupReport, error) {
+	pre, err := m.flash.Load()
+	if err != nil {
+		return StartupReport{}, err
+	}
+	perm := core.Permutation(m.rng, len(pre.Blocks))
+	r, err := core.Randomize(pre, perm)
+	if err != nil {
+		return StartupReport{}, fmt.Errorf("board: randomize: %w", err)
+	}
+	if m.cfg.InstructionLevelProgramming {
+		if _, err := m.app.ProgramViaBootloader(r.Image); err != nil {
+			return StartupReport{}, err
+		}
+	} else if err := m.app.Program(r.Image); err != nil {
+		return StartupReport{}, err
+	}
+	m.app.ReadoutFuse = true
+	m.expectBoot = true
+	m.app.Reset(true)
+	m.currentPerm = perm
+	m.stats.Randomizations++
+	m.stats.ProgramCycles++
+	m.lastFeed = now + m.transferTime(len(r.Image)) // feeds start after boot
+
+	rep := StartupReport{
+		Randomized:   true,
+		ImageBytes:   len(r.Image),
+		TransferTime: m.transferTime(len(r.Image)),
+	}
+	rep.Total = rep.TransferTime
+	return rep, nil
+}
+
+// transferTime is the serial programming duration: 10 bits per byte at
+// the configured baud rate. Flash reading and patching stream
+// concurrently, so the serial link is the critical path (§VII-B1).
+func (m *Master) transferTime(bytes int) time.Duration {
+	return time.Duration(int64(bytes) * 10 * int64(time.Second) / int64(m.cfg.ProgramBaud))
+}

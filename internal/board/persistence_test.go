@@ -1,0 +1,111 @@
+package board_test
+
+import (
+	"testing"
+	"time"
+
+	"mavr/internal/attack"
+	"mavr/internal/board"
+	"mavr/internal/firmware"
+)
+
+// MAVR's recovery reflash undoes volatile damage: a successful RAM
+// write via randomization-immune bootloader gadgets is erased when the
+// master detects the crash and reboots the application.
+func TestReflashUndoesVolatileDamage(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UseFixedGadgets(img.Bootloader, firmware.BootloaderStart); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildV1(a, attack.GyroCfgWrite(0x7F))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{
+		Seed: 5, WatchdogTimeout: 20 * time.Millisecond,
+	}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	fr := attack.Frame(payload)
+	sys.SendToUAV(fr.MarshalOversize())
+	if err := sys.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Master.Stats().FailuresDetected == 0 {
+		t.Fatal("crash not detected")
+	}
+	// The write landed transiently but the recovery reboot reloaded the
+	// clean configuration from EEPROM.
+	if got := sys.App.CPU.Data[firmware.AddrGyroCfg]; got == 0x7F {
+		t.Errorf("volatile damage survived the reflash (0x%02X)", got)
+	}
+}
+
+// ...but the same fixed gadgets driving the EEPROM controller produce
+// PERSISTENT damage: after the master's recovery, the firmware reloads
+// the attacker's configuration from EEPROM. This is the §VI-B4 warning
+// taken to its conclusion — with a resident bootloader, one crashed
+// packet defeats the recovery story; hardware ISP closes it.
+func TestBootGadgetEEPROMDamagePersistsThroughReflash(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UseFixedGadgets(img.Bootloader, firmware.BootloaderStart); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildV1(a, attack.EEPROMCfgWrites(firmware.EEPROMCfgAddr, 0x6B)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{
+		Seed: 5, WatchdogTimeout: 20 * time.Millisecond,
+	}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	fr := attack.Frame(payload)
+	sys.SendToUAV(fr.MarshalOversize())
+	if err := sys.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Master.Stats().FailuresDetected == 0 {
+		t.Fatal("crash not detected")
+	}
+	if got := sys.App.CPU.EEPROM[firmware.EEPROMCfgAddr]; got != 0x6B {
+		t.Fatalf("EEPROM config = 0x%02X, attack did not persist", got)
+	}
+	// Let the recovered firmware boot and reload its configuration.
+	if err := sys.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.App.CPU.Data[firmware.AddrGyroCfg]; got != 0x6B {
+		t.Errorf("recovered firmware runs with config 0x%02X, want the persisted 0x6B", got)
+	}
+	// The hardware-ISP build is immune: no fixed gadgets to build on.
+	spec := firmware.TestApp()
+	spec.Bootloader = false
+	isp, err := firmware.Generate(spec, firmware.ModeMAVR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aISP, err := attack.Analyze(isp.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aISP.UseFixedGadgets(nil, firmware.BootloaderStart); err == nil {
+		t.Error("ISP build offered fixed gadgets")
+	}
+}

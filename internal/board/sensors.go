@@ -1,0 +1,58 @@
+package board
+
+import (
+	"math"
+	"time"
+)
+
+// FlightProfile generates the raw gyro samples the application reads,
+// following a simple mission shape (takeoff, cruise with gentle
+// banking, turns). It makes the corrupted-sensor experiments visible:
+// the ground station can compare the reported values against the
+// physical truth the profile defines.
+type FlightProfile struct {
+	// BankPeriod is the period of the cruise banking oscillation.
+	BankPeriod time.Duration
+	// Amplitude is the gyro swing in raw units.
+	Amplitude float64
+	// Bias is the sample midpoint.
+	Bias float64
+}
+
+// DefaultFlightProfile returns a gentle cruise profile.
+func DefaultFlightProfile() FlightProfile {
+	return FlightProfile{
+		BankPeriod: 2 * time.Second,
+		Amplitude:  20,
+		Bias:       100,
+	}
+}
+
+// Sample returns the physical gyro value at simulated time t.
+func (f FlightProfile) Sample(t time.Duration) byte {
+	phase := 2 * math.Pi * float64(t) / float64(f.BankPeriod)
+	v := f.Bias + f.Amplitude*math.Sin(phase)
+	if v < 0 {
+		v = 0
+	}
+	if v > 255 {
+		v = 255
+	}
+	return byte(v)
+}
+
+// AttachFlightProfile drives the application's gyro input from the
+// profile as simulated time advances.
+func (s *System) AttachFlightProfile(f FlightProfile) {
+	s.profile = &f
+	s.App.SetRawGyro(f.Sample(0))
+}
+
+// TruthGyro returns the physical sensor value at the current simulated
+// time (0 when no profile is attached).
+func (s *System) TruthGyro() byte {
+	if s.profile == nil {
+		return 0
+	}
+	return s.profile.Sample(s.clock)
+}

@@ -1,0 +1,125 @@
+package board_test
+
+import (
+	"testing"
+	"time"
+
+	"mavr/internal/attack"
+	"mavr/internal/board"
+	"mavr/internal/gcs"
+)
+
+func TestFlightProfileDrivesGyro(t *testing.T) {
+	f := board.DefaultFlightProfile()
+	// Samples vary over a period and stay in byte range.
+	var mn, mx byte = 255, 0
+	for i := 0; i < 40; i++ {
+		v := f.Sample(time.Duration(i) * f.BankPeriod / 40)
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if mx-mn < 30 {
+		t.Errorf("profile swing = %d, want a visible oscillation", mx-mn)
+	}
+
+	img := testImage(t)
+	sys := board.NewSystem(board.SystemConfig{Unprotected: true})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	sys.AttachFlightProfile(f)
+	g := gcs.NewGroundStation(sys)
+	if err := g.Fly(600 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// The reported gyro tracks the physical truth (config byte is 0).
+	if diff := int(g.Mon.LastGyro) - int(sys.TruthGyro()); diff < -25 || diff > 25 {
+		t.Errorf("reported gyro %d far from truth %d", g.Mon.LastGyro, sys.TruthGyro())
+	}
+}
+
+// With a flight profile attached, the stealthy attack's config
+// corruption shows up as a persistent bias between reported and
+// physical values — visible to us (who know the truth), invisible to
+// the ground station (who only sees the reported stream).
+func TestAttackBiasesReportedAttitude(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildV2(a, attack.GyroCfgWrite(0x50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := board.NewSystem(board.SystemConfig{Unprotected: true})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	sys.AttachFlightProfile(board.DefaultFlightProfile())
+	g := gcs.NewGroundStation(sys)
+	if err := g.Fly(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	g.SendFrame(attack.Frame(payload))
+	if err := g.Fly(400 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	bias := int(g.Mon.LastGyro) - int(sys.TruthGyro())
+	if bias < 0x50-25 || bias > 0x50+25 {
+		t.Errorf("post-attack bias = %d, want ~0x50", bias)
+	}
+	if g.Mon.CompromiseDetected(200 * time.Millisecond) {
+		t.Error("attack flagged despite stealth")
+	}
+}
+
+func TestEventLogRecordsLifecycle(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildV2(a, attack.GyroCfgWrite(0x55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{
+		Seed: 9, WatchdogTimeout: 20 * time.Millisecond,
+	}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	fr := attack.Frame(payload)
+	sys.SendToUAV(fr.MarshalOversize())
+	if err := sys.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[board.EventKind]int)
+	for _, e := range sys.Events() {
+		if e.String() == "" {
+			t.Fatal("event renders empty")
+		}
+		kinds[e.Kind]++
+	}
+	for _, want := range []board.EventKind{
+		board.EventBoot, board.EventRandomized, board.EventFailureDetected, board.EventReflash,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v event in the timeline: %v", want, sys.Events())
+		}
+	}
+}

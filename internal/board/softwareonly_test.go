@@ -1,0 +1,190 @@
+package board_test
+
+import (
+	"testing"
+	"time"
+
+	"mavr/internal/attack"
+	"mavr/internal/avr"
+	"mavr/internal/board"
+	"mavr/internal/firmware"
+)
+
+// §VIII-A: the rejected software-only design randomizes once at flash
+// time. It flies, and a stale attack fails against it...
+func TestSoftwareOnlyBoardFliesAndResistsStaleAttack(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildV2(a, attack.GyroCfgWrite(0x55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := board.NewSystem(board.SystemConfig{SoftwareOnly: true, SoftwareSeed: 77})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.DrainGCS()) == 0 {
+		t.Fatal("software-only board produced no telemetry")
+	}
+	fr := attack.Frame(payload)
+	sys.SendToUAV(fr.MarshalOversize())
+	if err := sys.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.App.CPU.Data[firmware.AddrGyroCfg]; got == 0x55 {
+		t.Error("stale attack succeeded against the flash-time randomization")
+	}
+}
+
+// ...but unlike MAVR it never re-randomizes: the layout is identical
+// across reboots, so every failed attempt gives the attacker durable
+// information — the first reason §VIII-A rejects the design.
+func TestSoftwareOnlyLayoutIsFixedForever(t *testing.T) {
+	img := testImage(t)
+	dump := func() []byte {
+		sys := board.NewSystem(board.SystemConfig{SoftwareOnly: true, SoftwareSeed: 5})
+		if err := sys.FlashFirmware(img); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		// No readout fuse in the software-only design either.
+		d, err := sys.App.ReadFlashExternally()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := dump(), dump()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("software-only layout changed across flashes — it must not")
+		}
+	}
+	// A MAVR board with different seeds produces different layouts.
+	layout := func(seed int64) []byte {
+		sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{Seed: seed}})
+		if err := sys.FlashFirmware(img); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte(nil), sys.App.CPU.Flash[:len(img.Flash)]...)
+	}
+	x, y := layout(1), layout(2)
+	same := true
+	for i := range x {
+		if x[i] != y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("MAVR layouts identical across seeds")
+	}
+}
+
+// The second §VIII-A reason: no fault tolerance. After a failed attack
+// the software-only board has no master to notice or recover; if the
+// processor halts it stays halted until a physical power cycle.
+func TestSoftwareOnlyHasNoRecovery(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A V1-style payload via bootloader gadgets halts the board with a
+	// garbage return regardless of layout.
+	if err := a.UseFixedGadgets(img.Bootloader, firmware.BootloaderStart); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildV1(a, attack.GyroCfgWrite(0x11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := board.NewSystem(board.SystemConfig{SoftwareOnly: true, SoftwareSeed: 9})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	fr := attack.Frame(payload)
+	sys.SendToUAV(fr.MarshalOversize())
+	if err := sys.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sys.LastFault() == nil {
+		t.Fatal("attack did not halt the board")
+	}
+	before := len(sys.DrainGCS())
+	_ = before
+	if err := sys.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.DrainGCS()); got != 0 {
+		t.Errorf("halted software-only board still transmitted %d bytes — no recovery should exist", got)
+	}
+	if sys.App.Running() {
+		t.Error("board recovered without a master processor")
+	}
+}
+
+// The board's 1 kHz timer tick drives the firmware ISR; uptime advances
+// with simulated time and keeps advancing on a randomized image (the
+// vector-table patch keeps interrupts working).
+func TestBoardTimerTickAdvancesUptime(t *testing.T) {
+	img := testImage(t)
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{Seed: 3}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	uptime := uint16(sys.App.CPU.Data[firmware.AddrUptime]) |
+		uint16(sys.App.CPU.Data[firmware.AddrUptime+1])<<8
+	if uptime < 80 || uptime > 120 {
+		t.Errorf("uptime = %d ticks after 100ms, want ~100", uptime)
+	}
+	if sys.LastFault() != nil {
+		t.Fatalf("fault: %v", sys.LastFault())
+	}
+}
+
+// Readout protection also guards the bootloader-resident flash view.
+func TestBootloaderResidentAfterReflash(t *testing.T) {
+	img := testImage(t)
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{Seed: 8}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	flash := sys.App.CPU.Flash
+	for i, b := range img.Bootloader {
+		if flash[int(firmware.BootloaderStart)+i] != b {
+			t.Fatal("bootloader lost after programming")
+		}
+	}
+	// The bootloader code must decode cleanly (it is real code).
+	in := avr.DecodeAt(flash, firmware.BootloaderStart/2)
+	if in.Op == avr.OpInvalid {
+		t.Error("bootloader entry does not decode")
+	}
+}

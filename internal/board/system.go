@@ -1,0 +1,218 @@
+package board
+
+import (
+	"math/rand"
+	"time"
+
+	"mavr/internal/avr"
+	"mavr/internal/core"
+	"mavr/internal/firmware"
+)
+
+// TelemetryBaud is the GCS link rate (3DR telemetry radio default).
+const TelemetryBaud = 57600
+
+// SystemConfig assembles a full MAVR board.
+type SystemConfig struct {
+	Master MasterConfig
+	// FlashCapacity overrides the external flash size (0 = M95M02).
+	FlashCapacity int
+	// Unprotected builds a plain APM without the MAVR hardware: the
+	// application processor runs the original binary, there is no
+	// master, no watchdog and no readout fuse — the paper's attack
+	// target baseline.
+	Unprotected bool
+	// SoftwareOnly builds the §VIII-A strawman the authors rejected:
+	// the binary is randomized once at flash time on the host, with no
+	// master processor. The permutation is fixed for the device's
+	// lifetime (failed attempts leak information) and there is no
+	// fault tolerance — a failed attack leaves the processor
+	// inoperable until a physical power cycle.
+	SoftwareOnly bool
+	// SoftwareSeed drives the flash-time permutation in SoftwareOnly
+	// mode.
+	SoftwareSeed int64
+}
+
+// System is the complete simulated vehicle: application processor,
+// master processor, external flash and the telemetry link to the
+// ground station, all sharing one simulated clock.
+type System struct {
+	App    *AppProcessor
+	Master *Master
+	Flash  *ExternalFlash
+
+	cfg   SystemConfig
+	clock time.Duration
+
+	// Telemetry byte queues with delivery deadlines.
+	toUAV  []timedByte
+	toGCS  []byte
+	txBusy time.Duration // UAV transmitter ready time
+
+	lastFault  *avr.Fault
+	reflashes  []StartupReport
+	nextTickAt time.Duration
+	events     []Event
+	profile    *FlightProfile
+}
+
+// TimerTickInterval is the TIMER0 overflow period raised by the board
+// (1 kHz system tick).
+const TimerTickInterval = time.Millisecond
+
+type timedByte struct {
+	at time.Duration
+	b  byte
+}
+
+// NewSystem builds a board.
+func NewSystem(cfg SystemConfig) *System {
+	s := &System{cfg: cfg}
+	s.App = NewAppProcessor()
+	s.Flash = NewExternalFlash(cfg.FlashCapacity)
+	if !cfg.Unprotected && !cfg.SoftwareOnly {
+		s.Master = NewMaster(cfg.Master, s.Flash, s.App, func() time.Duration { return s.clock })
+	}
+	s.App.tx = func(b byte) { s.toGCS = append(s.toGCS, b) }
+	return s
+}
+
+// Now returns the simulated time.
+func (s *System) Now() time.Duration { return s.clock }
+
+// FlashFirmware runs the host-side preprocessing phase and uploads the
+// result to the external flash (or, on an unprotected board, programs
+// the application processor directly with the original binary). A
+// prototype build's resident serial bootloader is installed in the boot
+// section first.
+func (s *System) FlashFirmware(img *firmware.Image) error {
+	if img.Bootloader != nil {
+		s.App.InstallBootloader(img.Bootloader, firmware.BootloaderStart)
+	}
+	pre, err := core.Preprocess(img.ELF)
+	if err != nil {
+		return err
+	}
+	if s.cfg.Unprotected {
+		if err := s.App.Program(img.ELF.Text); err != nil {
+			return err
+		}
+		s.App.Reset(true)
+		return nil
+	}
+	if s.cfg.SoftwareOnly {
+		// Randomize exactly once, at flash time, on the host.
+		rng := rand.New(rand.NewSource(s.cfg.SoftwareSeed))
+		r, err := core.Randomize(pre, core.Permutation(rng, len(pre.Blocks)))
+		if err != nil {
+			return err
+		}
+		if err := s.App.Program(r.Image); err != nil {
+			return err
+		}
+		s.App.Reset(true)
+		return nil
+	}
+	return s.Flash.Store(pre)
+}
+
+// Boot powers the vehicle on. On a MAVR board the master may randomize
+// and reprogram; the returned report carries the startup overhead
+// (Table II). The simulated clock advances by the programming time.
+func (s *System) Boot() (StartupReport, error) {
+	if s.cfg.Unprotected || s.cfg.SoftwareOnly {
+		s.App.Reset(true)
+		return StartupReport{}, nil
+	}
+	rep, err := s.Master.Boot(s.clock)
+	if err != nil {
+		return rep, err
+	}
+	s.clock += rep.Total
+	if rep.Randomized {
+		s.logEvent(EventRandomized, "%d bytes programmed in %v", rep.ImageBytes, rep.Total.Round(time.Millisecond))
+	}
+	s.logEvent(EventBoot, "application started")
+	return rep, nil
+}
+
+// SendToUAV queues raw telemetry-uplink bytes; they arrive at the UAV
+// paced by the telemetry baud rate.
+func (s *System) SendToUAV(data []byte) {
+	at := s.clock
+	byteTime := time.Duration(10 * int64(time.Second) / TelemetryBaud)
+	for _, b := range data {
+		at += byteTime
+		s.toUAV = append(s.toUAV, timedByte{at: at, b: b})
+	}
+}
+
+// DrainGCS returns and clears the bytes received by the ground station.
+func (s *System) DrainGCS() []byte {
+	out := s.toGCS
+	s.toGCS = nil
+	return out
+}
+
+// Reflashes returns the reports of watchdog-triggered reprogrammings.
+func (s *System) Reflashes() []StartupReport { return s.reflashes }
+
+// LastFault exposes the most recent application-processor fault.
+func (s *System) LastFault() *avr.Fault { return s.lastFault }
+
+// Run advances the simulation by d, in small quanta: serial bytes are
+// delivered on schedule, the application processor executes at 16 MHz,
+// and the master's watchdog analysis runs continuously. Detected
+// failures trigger reset + re-randomization + reprogramming, whose
+// duration also elapses on the simulated clock (§V-C, §V-D).
+func (s *System) Run(d time.Duration) error {
+	const quantum = 250 * time.Microsecond
+	end := s.clock + d
+	for s.clock < end {
+		step := quantum
+		if end-s.clock < step {
+			step = end - s.clock
+		}
+		s.clock += step
+
+		// Deliver due uplink bytes.
+		for len(s.toUAV) > 0 && s.toUAV[0].at <= s.clock {
+			s.App.Receive(s.toUAV[0].b)
+			s.toUAV = s.toUAV[1:]
+		}
+
+		if s.clock >= s.nextTickAt {
+			s.nextTickAt = s.clock + TimerTickInterval
+			if s.App.Running() {
+				s.App.CPU.RaiseInterrupt(avr.VectorTimer0Ovf)
+			}
+			if s.profile != nil {
+				s.App.SetRawGyro(s.profile.Sample(s.clock))
+			}
+		}
+
+		if s.App.Running() {
+			if fault := s.App.RunCycles(CyclesFor(step)); fault != nil {
+				if s.lastFault == nil || fault.Cycle != s.lastFault.Cycle {
+					s.logEvent(EventFault, "%v", fault)
+				}
+				s.lastFault = fault
+			}
+		}
+
+		if s.Master != nil {
+			rep, err := s.Master.Poll(s.clock)
+			if err != nil {
+				return err
+			}
+			if rep != nil {
+				s.logEvent(EventFailureDetected, "watchdog/boot-handshake anomaly")
+				s.reflashes = append(s.reflashes, *rep)
+				s.clock += rep.Total // board is down while reprogramming
+				s.logEvent(EventReflash, "%d bytes reprogrammed in %v", rep.ImageBytes, rep.Total.Round(time.Millisecond))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mavr/internal/avr"
+	"mavr/internal/elfobj"
+)
+
+// Randomization and patching errors. A relative-range or LDI-encoding
+// failure on a stock-toolchain binary is exactly why the paper requires
+// --no-relax and -mno-call-prologues (§VI-B1).
+var (
+	ErrBadPermutation    = errors.New("core: not a permutation of the block set")
+	ErrRelativeRange     = errors.New("core: relocated rjmp/rcall target out of relative range (binary built without --no-relax?)")
+	ErrBranchRange       = errors.New("core: relocated conditional branch out of range")
+	ErrPointerOverflow   = errors.New("core: relocated function pointer exceeds 16-bit word address")
+	ErrInstrStreamDesync = errors.New("core: instruction walk desynchronized inside a function block")
+)
+
+// Permutation returns a uniformly random permutation of n block
+// indices (Fisher-Yates) drawn from rng.
+func Permutation(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+// Randomized is the outcome of one randomization pass.
+type Randomized struct {
+	// Image is the patched, shuffled flash image (same length as the
+	// original).
+	Image []byte
+	// Perm is the applied permutation: Perm[i] is the original block
+	// index placed i-th in the new layout.
+	Perm []int
+	// NewStart[origIndex] is each block's new start byte address.
+	NewStart []uint32
+	// PatchedTransfers counts rewritten jmp/call/rjmp/rcall instructions.
+	PatchedTransfers int
+	// PatchedPointers counts rewritten data-section function pointers.
+	PatchedPointers int
+}
+
+// Randomize produces a new flash image with the function blocks
+// arranged according to perm, all encoded control transfers and
+// function pointers patched (paper §V-B2/B3, §VI-B3).
+func Randomize(p *Preprocessed, perm []int) (*Randomized, error) {
+	n := len(p.Blocks)
+	if len(perm) != n {
+		return nil, ErrBadPermutation
+	}
+	seen := make([]bool, n)
+	for _, i := range perm {
+		if i < 0 || i >= n || seen[i] {
+			return nil, ErrBadPermutation
+		}
+		seen[i] = true
+	}
+
+	r := &Randomized{
+		Perm:     append([]int(nil), perm...),
+		NewStart: make([]uint32, n),
+	}
+	cursor := p.RegionStart
+	for _, orig := range perm {
+		r.NewStart[orig] = cursor
+		cursor += p.Blocks[orig].Size
+	}
+	if cursor != p.RegionEnd {
+		return nil, ErrNotTiling
+	}
+
+	// Lay out the new image: fixed regions copied verbatim, blocks
+	// moved to their new homes.
+	img := append([]byte(nil), p.Image...)
+	for orig, b := range p.Blocks {
+		copy(img[r.NewStart[orig]:], p.Image[b.Start:b.End()])
+	}
+
+	remap := func(old uint32) uint32 {
+		i := p.BlockIndex(old)
+		if i < 0 {
+			return old // fixed region: vectors, stubs, data, constants
+		}
+		return r.NewStart[i] + (old - p.Blocks[i].Start)
+	}
+
+	// Patch the fixed low-flash code (interrupt vectors and dispatch
+	// stubs), then every relocated block.
+	if err := patchCode(img[:p.RegionStart], 0, 0, p.RegionStart, remap, r); err != nil {
+		return nil, err
+	}
+	for orig, b := range p.Blocks {
+		buf := img[r.NewStart[orig] : r.NewStart[orig]+b.Size]
+		if err := patchCode(buf, r.NewStart[orig], b.Start, b.End(), remap, r); err != nil {
+			return nil, fmt.Errorf("block %q: %w", b.Name, err)
+		}
+	}
+
+	// Patch data-section function pointers (16-bit word addresses).
+	for _, off := range p.PtrOffsets {
+		w := uint32(img[off]) | uint32(img[off+1])<<8
+		nw := remap(w*2) / 2
+		if nw > 0xFFFF {
+			return nil, fmt.Errorf("%w: 0x%X", ErrPointerOverflow, nw*2)
+		}
+		if nw != w {
+			img[off] = byte(nw)
+			img[off+1] = byte(nw >> 8)
+			r.PatchedPointers++
+		}
+	}
+
+	r.Image = img
+	return r, nil
+}
+
+// Moves reports each block's relocation as "name: old -> new" lines,
+// ordered by original address — the layout diff a defender inspects
+// (and an attacker never sees, thanks to the readout fuse).
+func (r *Randomized) Moves(p *Preprocessed) []string {
+	out := make([]string, 0, len(p.Blocks))
+	for i, b := range p.Blocks {
+		out = append(out, fmt.Sprintf("%-40s 0x%06X -> 0x%06X (%d bytes)",
+			b.Name, b.Start, r.NewStart[i], b.Size))
+	}
+	return out
+}
+
+// Symbols returns the function symbol table of the randomized image:
+// the original blocks at their new starts, sorted by address, ready to
+// embed in an output ELF.
+func (r *Randomized) Symbols(p *Preprocessed) []elfobj.Symbol {
+	out := make([]elfobj.Symbol, 0, len(p.Blocks))
+	for i, b := range p.Blocks {
+		out = append(out, elfobj.Symbol{
+			Name:  b.Name,
+			Value: r.NewStart[i],
+			Size:  b.Size,
+			Kind:  elfobj.SymFunc,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// patchCode walks the instruction stream of one relocated (or fixed)
+// code buffer, rewriting the flash targets of jmp/call and re-encoding
+// rjmp/rcall and conditional branches whose absolute targets moved
+// relative to the instruction. Intra-buffer relative transfers move
+// with the block and need no change.
+//
+// buf holds the code that will live at byte address newBase in the
+// output image and lived at [oldStart, oldEnd) in the original. The
+// buffer-local formulation is what lets the master processor patch one
+// block at a time while streaming (§VI-B3).
+func patchCode(buf []byte, newBase, oldStart, oldEnd uint32, remap func(uint32) uint32, r *Randomized) error {
+	endW := uint32(len(buf) / 2)
+	baseW := newBase / 2
+	oldBaseW := oldStart / 2
+	for pc := uint32(0); pc < endW; {
+		in := avr.DecodeAt(buf, pc)
+		if in.Op == avr.OpInvalid {
+			return fmt.Errorf("%w: invalid opcode at byte 0x%X", ErrInstrStreamDesync, (baseW+pc)*2)
+		}
+		oldPC := oldBaseW + pc
+		switch in.Op {
+		case avr.OpJMP, avr.OpCALL:
+			oldT := in.Target * 2
+			newT := remap(oldT)
+			if newT != oldT {
+				encodeLong(buf, pc, in.Op, newT/2)
+				r.PatchedTransfers++
+			}
+		case avr.OpRJMP, avr.OpRCALL:
+			oldT := uint32(int64(oldPC)+1+int64(in.K)) * 2
+			if oldT < oldStart || oldT >= oldEnd {
+				newT := remap(oldT)
+				k := int64(newT/2) - int64(baseW+pc) - 1
+				if k < -2048 || k > 2047 {
+					return fmt.Errorf("%w: at byte 0x%X", ErrRelativeRange, (baseW+pc)*2)
+				}
+				base := uint16(0xC000)
+				if in.Op == avr.OpRCALL {
+					base = 0xD000
+				}
+				putWord(buf, pc, base|uint16(k)&0x0FFF)
+				if k != int64(in.K) {
+					r.PatchedTransfers++
+				}
+			}
+		case avr.OpBRBS, avr.OpBRBC:
+			oldT := uint32(int64(oldPC)+1+int64(in.K)) * 2
+			if oldT < oldStart || oldT >= oldEnd {
+				newT := remap(oldT)
+				k := int64(newT/2) - int64(baseW+pc) - 1
+				if k < -64 || k > 63 {
+					return fmt.Errorf("%w: at byte 0x%X", ErrBranchRange, (baseW+pc)*2)
+				}
+				w := wordOf(buf, pc)
+				w = w&^uint16(0x7F<<3) | (uint16(k)&0x7F)<<3
+				putWord(buf, pc, w)
+				if k != int64(in.K) {
+					r.PatchedTransfers++
+				}
+			}
+		}
+		pc += uint32(in.Words)
+	}
+	return nil
+}
+
+func encodeLong(img []byte, pc uint32, op avr.Op, target uint32) {
+	base := uint16(0x940C)
+	if op == avr.OpCALL {
+		base = 0x940E
+	}
+	hi := uint16(target >> 16)
+	putWord(img, pc, base|(hi&0x3E)<<3|hi&1)
+	putWord(img, pc+1, uint16(target))
+}
+
+func wordOf(img []byte, pc uint32) uint16 {
+	return uint16(img[pc*2]) | uint16(img[pc*2+1])<<8
+}
+
+func putWord(img []byte, pc uint32, w uint16) {
+	img[pc*2] = byte(w)
+	img[pc*2+1] = byte(w >> 8)
+}

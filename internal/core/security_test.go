@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"mavr/internal/core"
+)
+
+func TestFactorialSmall(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720}
+	for n, w := range want {
+		if got := core.Factorial(n).Int64(); got != w {
+			t.Errorf("%d! = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestEntropyMonotonic(t *testing.T) {
+	prev := 0.0
+	for n := 2; n <= 1200; n += 50 {
+		bits := core.EntropyBits(n)
+		if bits <= prev {
+			t.Fatalf("entropy not monotonic at n=%d", n)
+		}
+		prev = bits
+	}
+}
+
+// §VIII-B: random inter-function padding would add entropy, but the
+// permutation alone is already computationally secure — the paper's
+// reason for leaving padding out.
+func TestPaddingEntropyUnnecessary(t *testing.T) {
+	// ArduRover: 800 blocks. Free flash after the 177556-byte image on
+	// a 256KB part: ~42K words of padding budget.
+	perm := core.EntropyBits(800)
+	pad := core.PaddingEntropyBits(800, (262144-177556)/2)
+	if pad <= 0 {
+		t.Fatal("padding entropy should be positive")
+	}
+	if pad >= perm {
+		t.Errorf("padding entropy %.0f bits exceeds the permutation's %.0f", pad, perm)
+	}
+	// The permutation alone is computationally secure by a huge margin
+	// (the paper quotes 6567 bits), so padding is unnecessary.
+	if perm < 128 {
+		t.Errorf("permutation entropy %.0f bits not computationally secure", perm)
+	}
+	t.Logf("permutation %.0f bits; padding could add %.0f more (unnecessary)", perm, pad)
+}
+
+func TestPaddingEntropyEdgeCases(t *testing.T) {
+	if got := core.PaddingEntropyBits(0, 100); got != 0 {
+		t.Errorf("no blocks -> %f", got)
+	}
+	if got := core.PaddingEntropyBits(10, 0); got != 0 {
+		t.Errorf("no free space -> %f", got)
+	}
+	// One block, F free words: F+1 placements -> log2(F+1).
+	got := core.PaddingEntropyBits(1, 7)
+	if math.Abs(got-3) > 1e-9 {
+		t.Errorf("C(8,1) = 8 layouts -> 3 bits, got %f", got)
+	}
+}
+
+func TestExpectedAttemptsLargeN(t *testing.T) {
+	// For 800 blocks the expectation is astronomically large but must
+	// still be computable (big-float path).
+	v := core.ExpectedAttemptsRerandomized(800)
+	if v.Sign() <= 0 {
+		t.Error("expected attempts not positive")
+	}
+	exp := v.MantExp(nil)
+	if math.Abs(float64(exp)-core.EntropyBits(800)) > 2 {
+		t.Errorf("attempts exponent %d inconsistent with entropy %.0f", exp, core.EntropyBits(800))
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// StreamRandomize produces the same image as Randomize but emits it
+// incrementally to w, holding at most one function block (plus the
+// old→new address maps) in memory — the paper's §VI-B3 requirement:
+// "each function can be processed in a streaming fashion, eliminating
+// the need to fit the entire application into volatile memory".
+//
+// The output order is physical: the fixed low-flash region (vectors and
+// dispatch stubs), then each block at its new home in new-layout order,
+// then the bytes above the function region (the .data load image with
+// pointers patched, constants, calibration table).
+func StreamRandomize(p *Preprocessed, perm []int, w io.Writer) (*Randomized, error) {
+	n := len(p.Blocks)
+	if len(perm) != n {
+		return nil, ErrBadPermutation
+	}
+	seen := make([]bool, n)
+	for _, i := range perm {
+		if i < 0 || i >= n || seen[i] {
+			return nil, ErrBadPermutation
+		}
+		seen[i] = true
+	}
+
+	r := &Randomized{
+		Perm:     append([]int(nil), perm...),
+		NewStart: make([]uint32, n),
+	}
+	cursor := p.RegionStart
+	for _, orig := range perm {
+		r.NewStart[orig] = cursor
+		cursor += p.Blocks[orig].Size
+	}
+	if cursor != p.RegionEnd {
+		return nil, ErrNotTiling
+	}
+	remap := func(old uint32) uint32 {
+		i := p.BlockIndex(old)
+		if i < 0 {
+			return old
+		}
+		return r.NewStart[i] + (old - p.Blocks[i].Start)
+	}
+
+	// 1. Fixed low-flash code, patched in a bounded scratch buffer.
+	head := append([]byte(nil), p.Image[:p.RegionStart]...)
+	if err := patchCode(head, 0, 0, p.RegionStart, remap, r); err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(head); err != nil {
+		return nil, err
+	}
+
+	// 2. Each block: read from the (external-flash) image, patched in a
+	// block-sized buffer, streamed out at its new position.
+	for _, orig := range perm {
+		b := p.Blocks[orig]
+		buf := append([]byte(nil), p.Image[b.Start:b.End()]...)
+		if err := patchCode(buf, r.NewStart[orig], b.Start, b.End(), remap, r); err != nil {
+			return nil, fmt.Errorf("block %q: %w", b.Name, err)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Everything above the region, with data-section function
+	// pointers patched on the way out.
+	tail := append([]byte(nil), p.Image[p.RegionEnd:]...)
+	for _, off := range p.PtrOffsets {
+		if off < p.RegionEnd {
+			continue
+		}
+		i := off - p.RegionEnd
+		v := uint32(tail[i]) | uint32(tail[i+1])<<8
+		nw := remap(v*2) / 2
+		if nw > 0xFFFF {
+			return nil, fmt.Errorf("%w: 0x%X", ErrPointerOverflow, nw*2)
+		}
+		if nw != v {
+			tail[i] = byte(nw)
+			tail[i+1] = byte(nw >> 8)
+			r.PatchedPointers++
+		}
+	}
+	if _, err := w.Write(tail); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

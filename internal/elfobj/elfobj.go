@@ -1,0 +1,367 @@
+// Package elfobj reads and writes the minimal subset of ELF32 needed by
+// the MAVR toolchain: an EM_AVR executable with .text and .data
+// sections and a symbol table. The MAVR preprocessing phase (paper
+// §VI-B2) parses these files to extract function boundaries and
+// function-pointer locations before the binary is converted to Intel
+// HEX and uploaded to the external flash chip.
+package elfobj
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// EMAVR is the ELF machine number for Atmel AVR.
+const EMAVR = 83
+
+// SymKind distinguishes function and data symbols.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymFunc SymKind = iota + 1
+	SymObject
+)
+
+// Section indices used by this writer.
+const (
+	secNull = iota
+	secText
+	secData
+	secSymtab
+	secStrtab
+	secShstrtab
+	numSections
+)
+
+// Symbol is one symbol-table entry. Value is a byte address within the
+// symbol's space (flash for SymFunc, data space for SymObject).
+type Symbol struct {
+	Name  string
+	Value uint32
+	Size  uint32
+	Kind  SymKind
+}
+
+// File is a simplified AVR ELF executable.
+type File struct {
+	// Text is the flash image (byte addressed, loaded at address 0).
+	Text []byte
+	// Data is the initialized data image, loaded at DataAddr in SRAM
+	// space by the startup code.
+	Data []byte
+	// DataAddr is the data-space (VMA) load address of Data.
+	DataAddr uint32
+	// DataLMA is the flash byte address where the .data load image is
+	// stored (the program-header physical address); startup code copies
+	// it to DataAddr. The MAVR preprocessor uses it to find and patch
+	// function pointers inside the flat binary.
+	DataLMA uint32
+	// Symbols describes functions (in Text) and objects (in Data).
+	Symbols []Symbol
+	// Entry is the entry point byte address (normally 0, the reset
+	// vector).
+	Entry uint32
+}
+
+// FuncSymbols returns the function symbols sorted by start address, the
+// order the MAVR preprocessor emits them in (paper §VI-B2).
+func (f *File) FuncSymbols() []Symbol {
+	var out []Symbol
+	for _, s := range f.Symbols {
+		if s.Kind == SymFunc {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+var (
+	// ErrNotELF is returned when the magic bytes are wrong.
+	ErrNotELF = errors.New("elfobj: not an ELF file")
+	// ErrNotAVR is returned for ELF files of other machines.
+	ErrNotAVR = errors.New("elfobj: not an AVR ELF file")
+)
+
+const (
+	ehSize      = 52
+	shSize      = 40
+	symSize     = 16
+	sttFunc     = 2
+	sttObject   = 1
+	shtProgbits = 1
+	shtSymtab   = 2
+	shtStrtab   = 3
+)
+
+// Marshal serializes the file as ELF32 little-endian.
+func (f *File) Marshal() ([]byte, error) {
+	shstr := newStrtab()
+	names := [numSections]uint32{}
+	names[secText] = shstr.add(".text")
+	names[secData] = shstr.add(".data")
+	names[secSymtab] = shstr.add(".symtab")
+	names[secStrtab] = shstr.add(".strtab")
+	names[secShstrtab] = shstr.add(".shstrtab")
+
+	strtab := newStrtab()
+	var symtab bytes.Buffer
+	symtab.Write(make([]byte, symSize)) // null symbol
+	for _, s := range f.Symbols {
+		var ent [symSize]byte
+		binary.LittleEndian.PutUint32(ent[0:], strtab.add(s.Name))
+		binary.LittleEndian.PutUint32(ent[4:], s.Value)
+		binary.LittleEndian.PutUint32(ent[8:], s.Size)
+		info := byte(sttFunc)
+		shndx := uint16(secText)
+		if s.Kind == SymObject {
+			info = sttObject
+			shndx = secData
+		}
+		ent[12] = 1<<4 | info // STB_GLOBAL, type
+		binary.LittleEndian.PutUint16(ent[14:], shndx)
+		symtab.Write(ent[:])
+	}
+
+	type sec struct {
+		body              []byte
+		typ, flags, addr  uint32
+		link, info, entsz uint32
+	}
+	secs := [numSections]sec{
+		secText:     {body: f.Text, typ: shtProgbits, flags: 0x6 /* ALLOC|EXEC */},
+		secData:     {body: f.Data, typ: shtProgbits, flags: 0x3 /* WRITE|ALLOC */, addr: f.DataAddr},
+		secSymtab:   {body: symtab.Bytes(), typ: shtSymtab, link: secStrtab, info: 1, entsz: symSize},
+		secStrtab:   {body: strtab.bytes(), typ: shtStrtab},
+		secShstrtab: {body: shstr.bytes(), typ: shtStrtab},
+	}
+
+	var out bytes.Buffer
+	out.Write(make([]byte, ehSize)) // header patched below
+
+	// Program headers: one PT_LOAD per loadable section. The .data
+	// entry's paddr carries the LMA (flash location of the load image).
+	const phSize = 32
+	phoff := uint32(out.Len())
+	out.Write(make([]byte, 2*phSize)) // patched below
+	offsets := [numSections]uint32{}
+	for i := secText; i < numSections; i++ {
+		offsets[i] = uint32(out.Len())
+		out.Write(secs[i].body)
+	}
+	shoff := uint32(out.Len())
+	for i := 0; i < numSections; i++ {
+		var sh [shSize]byte
+		if i != secNull {
+			binary.LittleEndian.PutUint32(sh[0:], names[i])
+			binary.LittleEndian.PutUint32(sh[4:], secs[i].typ)
+			binary.LittleEndian.PutUint32(sh[8:], secs[i].flags)
+			binary.LittleEndian.PutUint32(sh[12:], secs[i].addr)
+			binary.LittleEndian.PutUint32(sh[16:], offsets[i])
+			binary.LittleEndian.PutUint32(sh[20:], uint32(len(secs[i].body)))
+			binary.LittleEndian.PutUint32(sh[24:], secs[i].link)
+			binary.LittleEndian.PutUint32(sh[28:], secs[i].info)
+			binary.LittleEndian.PutUint32(sh[32:], 1)
+			binary.LittleEndian.PutUint32(sh[36:], secs[i].entsz)
+		}
+		out.Write(sh[:])
+	}
+
+	b := out.Bytes()
+	copy(b, []byte{0x7F, 'E', 'L', 'F', 1 /*32-bit*/, 1 /*LE*/, 1 /*version*/})
+	binary.LittleEndian.PutUint16(b[16:], 2) // ET_EXEC
+	binary.LittleEndian.PutUint16(b[18:], EMAVR)
+	binary.LittleEndian.PutUint32(b[20:], 1) // EV_CURRENT
+	binary.LittleEndian.PutUint32(b[24:], f.Entry)
+	binary.LittleEndian.PutUint32(b[28:], phoff)
+	binary.LittleEndian.PutUint32(b[32:], shoff)
+	binary.LittleEndian.PutUint16(b[40:], ehSize)
+	binary.LittleEndian.PutUint16(b[42:], phSize)
+	binary.LittleEndian.PutUint16(b[44:], 2) // phnum
+	binary.LittleEndian.PutUint16(b[46:], shSize)
+	binary.LittleEndian.PutUint16(b[48:], numSections)
+	binary.LittleEndian.PutUint16(b[50:], secShstrtab)
+
+	putPhdr := func(i int, off, vaddr, paddr, size, flags uint32) {
+		o := int(phoff) + i*phSize
+		binary.LittleEndian.PutUint32(b[o:], 1) // PT_LOAD
+		binary.LittleEndian.PutUint32(b[o+4:], off)
+		binary.LittleEndian.PutUint32(b[o+8:], vaddr)
+		binary.LittleEndian.PutUint32(b[o+12:], paddr)
+		binary.LittleEndian.PutUint32(b[o+16:], size)
+		binary.LittleEndian.PutUint32(b[o+20:], size)
+		binary.LittleEndian.PutUint32(b[o+24:], flags)
+		binary.LittleEndian.PutUint32(b[o+28:], 1)
+	}
+	putPhdr(0, offsets[secText], 0, 0, uint32(len(f.Text)), 0x5 /* R+X */)
+	putPhdr(1, offsets[secData], f.DataAddr, f.DataLMA, uint32(len(f.Data)), 0x6 /* R+W */)
+	return b, nil
+}
+
+// Parse deserializes an ELF32 AVR executable produced by Marshal (or a
+// compatible minimal layout).
+func Parse(b []byte) (*File, error) {
+	if len(b) < ehSize || !bytes.Equal(b[:4], []byte{0x7F, 'E', 'L', 'F'}) {
+		return nil, ErrNotELF
+	}
+	if b[4] != 1 || b[5] != 1 {
+		return nil, errors.New("elfobj: only ELF32 little-endian supported")
+	}
+	if binary.LittleEndian.Uint16(b[18:]) != EMAVR {
+		return nil, ErrNotAVR
+	}
+	shoff := binary.LittleEndian.Uint32(b[32:])
+	shentsize := binary.LittleEndian.Uint16(b[46:])
+	shnum := binary.LittleEndian.Uint16(b[48:])
+	shstrndx := binary.LittleEndian.Uint16(b[50:])
+	if shentsize != shSize {
+		return nil, fmt.Errorf("elfobj: unexpected section header size %d", shentsize)
+	}
+	type rawSec struct {
+		name, typ, addr, off, size, link uint32
+	}
+	secs := make([]rawSec, shnum)
+	for i := range secs {
+		o := int(shoff) + i*shSize
+		if o+shSize > len(b) {
+			return nil, errors.New("elfobj: truncated section headers")
+		}
+		secs[i] = rawSec{
+			name: binary.LittleEndian.Uint32(b[o:]),
+			typ:  binary.LittleEndian.Uint32(b[o+4:]),
+			addr: binary.LittleEndian.Uint32(b[o+12:]),
+			off:  binary.LittleEndian.Uint32(b[o+16:]),
+			size: binary.LittleEndian.Uint32(b[o+20:]),
+			link: binary.LittleEndian.Uint32(b[o+24:]),
+		}
+	}
+	body := func(s rawSec) ([]byte, error) {
+		if int(s.off)+int(s.size) > len(b) {
+			return nil, errors.New("elfobj: truncated section body")
+		}
+		return b[s.off : s.off+s.size], nil
+	}
+	if int(shstrndx) >= len(secs) {
+		return nil, errors.New("elfobj: bad shstrndx")
+	}
+	shstr, err := body(secs[shstrndx])
+	if err != nil {
+		return nil, err
+	}
+	secName := func(s rawSec) string { return cstr(shstr, s.name) }
+
+	f := &File{Entry: binary.LittleEndian.Uint32(b[24:])}
+	// Program headers: recover the .data LMA (second PT_LOAD, if any).
+	phoff := binary.LittleEndian.Uint32(b[28:])
+	phentsize := binary.LittleEndian.Uint16(b[42:])
+	phnum := binary.LittleEndian.Uint16(b[44:])
+	if phoff != 0 && phentsize == 32 {
+		for i := 0; i < int(phnum); i++ {
+			o := int(phoff) + i*32
+			if o+32 > len(b) {
+				return nil, errors.New("elfobj: truncated program headers")
+			}
+			vaddr := binary.LittleEndian.Uint32(b[o+8:])
+			paddr := binary.LittleEndian.Uint32(b[o+12:])
+			if vaddr != 0 { // the .data segment
+				f.DataLMA = paddr
+			}
+		}
+	}
+	var symtabSec, strtabSec *rawSec
+	for i := 1; i < len(secs); i++ {
+		s := secs[i]
+		switch secName(s) {
+		case ".text":
+			t, err := body(s)
+			if err != nil {
+				return nil, err
+			}
+			f.Text = append([]byte(nil), t...)
+		case ".data":
+			d, err := body(s)
+			if err != nil {
+				return nil, err
+			}
+			f.Data = append([]byte(nil), d...)
+			f.DataAddr = s.addr
+		case ".symtab":
+			sc := s
+			symtabSec = &sc
+		}
+	}
+	if symtabSec != nil {
+		if int(symtabSec.link) < len(secs) {
+			sc := secs[symtabSec.link]
+			strtabSec = &sc
+		}
+		syms, err := body(*symtabSec)
+		if err != nil {
+			return nil, err
+		}
+		var strs []byte
+		if strtabSec != nil {
+			if strs, err = body(*strtabSec); err != nil {
+				return nil, err
+			}
+		}
+		for o := symSize; o+symSize <= len(syms); o += symSize {
+			nameOff := binary.LittleEndian.Uint32(syms[o:])
+			info := syms[o+12] & 0xF
+			sym := Symbol{
+				Name:  cstr(strs, nameOff),
+				Value: binary.LittleEndian.Uint32(syms[o+4:]),
+				Size:  binary.LittleEndian.Uint32(syms[o+8:]),
+			}
+			switch info {
+			case sttFunc:
+				sym.Kind = SymFunc
+			case sttObject:
+				sym.Kind = SymObject
+			default:
+				continue
+			}
+			f.Symbols = append(f.Symbols, sym)
+		}
+	}
+	return f, nil
+}
+
+func cstr(b []byte, off uint32) string {
+	if int(off) >= len(b) {
+		return ""
+	}
+	end := int(off)
+	for end < len(b) && b[end] != 0 {
+		end++
+	}
+	return string(b[off:end])
+}
+
+type strtab struct {
+	buf  bytes.Buffer
+	seen map[string]uint32
+}
+
+func newStrtab() *strtab {
+	t := &strtab{seen: make(map[string]uint32)}
+	t.buf.WriteByte(0)
+	return t
+}
+
+func (t *strtab) add(s string) uint32 {
+	if off, ok := t.seen[s]; ok {
+		return off
+	}
+	off := uint32(t.buf.Len())
+	t.buf.WriteString(s)
+	t.buf.WriteByte(0)
+	t.seen[s] = off
+	return off
+}
+
+func (t *strtab) bytes() []byte { return t.buf.Bytes() }

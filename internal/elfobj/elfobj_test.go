@@ -1,0 +1,208 @@
+package elfobj_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mavr/internal/elfobj"
+)
+
+func sampleFile() *elfobj.File {
+	return &elfobj.File{
+		Text:     []byte{0x0C, 0x94, 0x02, 0x00, 0x08, 0x95},
+		Data:     []byte{0x10, 0x00, 0x20, 0x00},
+		DataAddr: 0x200,
+		Entry:    0,
+		Symbols: []elfobj.Symbol{
+			{Name: "main", Value: 0, Size: 4, Kind: elfobj.SymFunc},
+			{Name: "loop", Value: 4, Size: 2, Kind: elfobj.SymFunc},
+			{Name: "dispatch_table", Value: 0x200, Size: 4, Kind: elfobj.SymObject},
+		},
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	f := sampleFile()
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := elfobj.Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Text, f.Text) {
+		t.Error("text mismatch")
+	}
+	if !bytes.Equal(got.Data, f.Data) {
+		t.Error("data mismatch")
+	}
+	if got.DataAddr != f.DataAddr {
+		t.Errorf("data addr = 0x%X, want 0x%X", got.DataAddr, f.DataAddr)
+	}
+	if !reflect.DeepEqual(got.Symbols, f.Symbols) {
+		t.Errorf("symbols mismatch:\ngot  %+v\nwant %+v", got.Symbols, f.Symbols)
+	}
+}
+
+func TestFuncSymbolsSorted(t *testing.T) {
+	f := &elfobj.File{
+		Symbols: []elfobj.Symbol{
+			{Name: "c", Value: 30, Kind: elfobj.SymFunc},
+			{Name: "a", Value: 10, Kind: elfobj.SymFunc},
+			{Name: "obj", Value: 5, Kind: elfobj.SymObject},
+			{Name: "b", Value: 20, Kind: elfobj.SymFunc},
+		},
+	}
+	got := f.FuncSymbols()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3 (object symbols excluded)", len(got))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if got[i].Name != want {
+			t.Errorf("FuncSymbols[%d] = %s, want %s", i, got[i].Name, want)
+		}
+	}
+}
+
+func TestParseRejectsNonELF(t *testing.T) {
+	_, err := elfobj.Parse([]byte("this is not an elf file at all......................................."))
+	if !errors.Is(err, elfobj.ErrNotELF) {
+		t.Errorf("want ErrNotELF, got %v", err)
+	}
+}
+
+func TestParseRejectsWrongMachine(t *testing.T) {
+	f := sampleFile()
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[18] = 0x3E // EM_X86_64
+	_, err = elfobj.Parse(b)
+	if !errors.Is(err, elfobj.ErrNotAVR) {
+		t.Errorf("want ErrNotAVR, got %v", err)
+	}
+}
+
+func TestParseRejectsTruncated(t *testing.T) {
+	f := sampleFile()
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{4, 20, 51, len(b) / 2} {
+		if _, err := elfobj.Parse(b[:n]); err == nil {
+			t.Errorf("no error for %d-byte truncation", n)
+		}
+	}
+}
+
+func TestRoundTripWithManySymbols(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := &elfobj.File{
+		Text:     make([]byte, 4096),
+		Data:     make([]byte, 128),
+		DataAddr: 0x200,
+	}
+	rng.Read(f.Text)
+	addr := uint32(0)
+	for i := 0; i < 900; i++ {
+		size := uint32(2 + rng.Intn(8)*2)
+		f.Symbols = append(f.Symbols, elfobj.Symbol{
+			Name:  symName(i),
+			Value: addr,
+			Size:  size,
+			Kind:  elfobj.SymFunc,
+		})
+		addr += size
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := elfobj.Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Symbols) != len(f.Symbols) {
+		t.Fatalf("symbol count = %d, want %d", len(got.Symbols), len(f.Symbols))
+	}
+	if !reflect.DeepEqual(got.Symbols, f.Symbols) {
+		t.Error("symbols corrupted through round trip")
+	}
+}
+
+func symName(i int) string {
+	const letters = "abcdefghij"
+	name := []byte{'f', 'n', '_'}
+	for i > 0 {
+		name = append(name, letters[i%10])
+		i /= 10
+	}
+	return string(name)
+}
+
+func TestEmptyDataSection(t *testing.T) {
+	f := &elfobj.File{
+		Text:    []byte{0x08, 0x95},
+		Symbols: []elfobj.Symbol{{Name: "f", Value: 0, Size: 2, Kind: elfobj.SymFunc}},
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := elfobj.Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != 0 {
+		t.Errorf("data = %v, want empty", got.Data)
+	}
+}
+
+func TestDuplicateSymbolNamesShareStrtabEntries(t *testing.T) {
+	f := &elfobj.File{
+		Text: []byte{0x08, 0x95, 0x08, 0x95},
+		Symbols: []elfobj.Symbol{
+			{Name: "dup", Value: 0, Size: 2, Kind: elfobj.SymFunc},
+			{Name: "dup", Value: 2, Size: 2, Kind: elfobj.SymFunc},
+		},
+	}
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := elfobj.Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Symbols) != 2 || got.Symbols[0].Name != "dup" || got.Symbols[1].Name != "dup" {
+		t.Errorf("symbols = %+v", got.Symbols)
+	}
+}
+
+// Parsing arbitrary mutations of a valid ELF must never panic.
+func TestParseFuzzNeverPanics(t *testing.T) {
+	f := sampleFile()
+	b, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 3000; i++ {
+		mut := append([]byte(nil), b...)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+		}
+		_, _ = elfobj.Parse(mut) // must not panic
+	}
+	for i := 0; i < 500; i++ {
+		junk := make([]byte, rng.Intn(4096))
+		rng.Read(junk)
+		_, _ = elfobj.Parse(junk)
+	}
+}

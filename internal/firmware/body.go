@@ -1,0 +1,172 @@
+package firmware
+
+import (
+	"fmt"
+
+	"mavr/internal/asm"
+	"mavr/internal/avr"
+)
+
+// fnLabel names generated function i's assembly label.
+func fnLabel(i int) string { return fmt.Sprintf("fn_%d", i) }
+
+// emitFunction synthesizes one autopilot function. Functions only ever
+// call lower-indexed functions (call-DAG, bounded depth), use the
+// call-clobbered registers r0, r18..r27, r30, r31 freely, and preserve
+// the callee-saved registers they push. bodyWords is the approximate
+// body length to synthesize.
+func (g *generator) emitFunction(idx, bodyWords int) {
+	b := g.b
+	rng := g.rng
+	label := fnLabel(idx)
+	b.Label(label)
+
+	k := 2
+	if rng.Intn(2) == 0 {
+		k = 4
+	}
+	hasFrame := rng.Intn(10) < 4
+	frame := 8 + rng.Intn(40)
+
+	// Stock toolchain: share the push/pop sequences via the
+	// call-prologue blocks when the return point is LDI-encodable
+	// (below 64K words) and the function has no frame pointer.
+	shared := g.mode == ModeStock && !hasFrame && b.Here() < 0xF000
+	retLabel := label + "_ret"
+
+	switch {
+	case shared:
+		g.shared++
+		b.LDIWordAddr(30, retLabel, 0)
+		b.LDIWordAddr(31, retLabel, 8)
+		b.JMP(prologueBlockName(k))
+		b.Label(retLabel)
+	default:
+		for _, r := range savedRegs(k) {
+			b.Emit(asm.PUSH(r))
+		}
+	}
+	if hasFrame {
+		b.Emit(asm.IN(28, avr.IOAddrSPL), asm.IN(29, avr.IOAddrSPH))
+		b.Emit(asm.SBIW(28, frame))
+		g.emitSPWrite()
+	}
+
+	// Pick up to two callees among lower-indexed functions with depth
+	// budget remaining, so the dynamic call depth stays bounded.
+	var callees []int
+	if idx > 0 {
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			if c := rng.Intn(idx); g.depth[c] < 2 {
+				callees = append(callees, c)
+			}
+		}
+	}
+	depth := 0
+	for _, c := range callees {
+		if g.depth[c]+1 > depth {
+			depth = g.depth[c] + 1
+		}
+	}
+	g.depth[idx] = depth
+
+	// Body synthesis: straight-line chunks until the word budget is
+	// spent, with the calls spliced in at deterministic points.
+	start := b.Here()
+	next := 0 // next callee to splice in
+	for int(b.Here()-start) < bodyWords {
+		used := int(b.Here() - start)
+		if next < len(callees) && used >= (next+1)*bodyWords/(len(callees)+1) {
+			g.callFunc(callees[next])
+			next++
+			continue
+		}
+		g.emitChunk(hasFrame, frame)
+	}
+	for ; next < len(callees); next++ {
+		g.callFunc(callees[next])
+	}
+
+	if hasFrame {
+		b.Emit(asm.ADIW(28, frame))
+		g.emitSPWrite()
+	}
+	if shared {
+		b.JMP(epilogueBlockName(k))
+		return
+	}
+	regs := savedRegs(k)
+	for i := len(regs) - 1; i >= 0; i-- {
+		b.Emit(asm.POP(regs[i]))
+	}
+	b.Emit(asm.RET)
+}
+
+// callFunc emits a call to generated function c, applying linker
+// relaxation (call -> rcall) in stock mode when the target is near.
+func (g *generator) callFunc(c int) {
+	label := fnLabel(c)
+	if g.mode == ModeStock {
+		if target, ok := g.b.LabelAddr(label); ok {
+			dist := int64(g.b.Here()) - int64(target)
+			if dist > -1900 && dist < 1900 {
+				g.b.RCALL(label)
+				g.relaxed++
+				return
+			}
+		}
+	}
+	g.b.CALL(label)
+}
+
+// call emits a long call to a runtime function.
+func (g *generator) call(label string) { g.b.CALL(label) }
+
+// scratch returns a random scratch-cell data address.
+func (g *generator) scratch() uint16 {
+	return uint16(AddrScratch + g.rng.Intn(0x9E0))
+}
+
+// emitChunk appends one plausible straight-line code fragment.
+func (g *generator) emitChunk(hasFrame bool, frame int) {
+	b := g.b
+	rng := g.rng
+	switch rng.Intn(8) {
+	case 0: // load-modify-store through direct addressing
+		a, c := g.scratch(), g.scratch()
+		b.Emit2(asm.LDS(24, a))
+		b.Emit2(asm.LDS(25, c))
+		b.Emit(asm.ADD(24, 25))
+		b.Emit2(asm.STS(g.scratch(), 24))
+	case 1: // immediate arithmetic
+		b.Emit(asm.LDI(24, rng.Intn(256)))
+		b.Emit(asm.LDI(25, rng.Intn(256)))
+		b.Emit(asm.SUB(24, 25))
+		b.Emit(asm.ANDI(24, rng.Intn(256)))
+	case 2: // 8x8 multiply with the avr-gcc zero-reg restore
+		b.Emit(asm.MUL(24, 25))
+		b.Emit(asm.MOVW(18, 0))
+		b.Emit(asm.EOR(1, 1))
+	case 3: // 16-bit pointer-style arithmetic
+		b.Emit(asm.LDI(24, rng.Intn(256)), asm.LDI(25, rng.Intn(64)))
+		b.Emit(asm.ADIW(24, rng.Intn(32)))
+		b.Emit(asm.SBIW(24, rng.Intn(16)))
+	case 4: // frame-local update (only with a frame pointer)
+		if hasFrame && frame > 2 {
+			q := 1 + rng.Intn(frame-1)
+			b.Emit(asm.LDDY(24, q))
+			b.Emit(asm.INC(24))
+			b.Emit(asm.STDY(q, 24))
+		} else {
+			b.Emit(asm.INC(24), asm.DEC(25))
+		}
+	case 5: // shifts and rotates (fixed-point math)
+		b.Emit(asm.LSR(24), asm.ROR(25), asm.ASR(24))
+	case 6: // compare-and-skip over a store
+		b.Emit(asm.CPI(24, rng.Intn(256)))
+		b.Emit(asm.SBRC(24, rng.Intn(8)))
+		b.Emit(asm.EOR(25, 24))
+	default: // bulk register shuffling
+		b.Emit(asm.MOV(20, 24), asm.MOV(21, 25), asm.SWAP(20), asm.OR(20, 21))
+	}
+}

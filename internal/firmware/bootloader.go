@@ -1,0 +1,139 @@
+package firmware
+
+import (
+	"mavr/internal/asm"
+	"mavr/internal/avr"
+)
+
+// UART1 (the master-processor link) data-space addresses.
+const (
+	AddrUCSR1A = 0xC8 // status: bit 7 = RXC1
+	AddrUDR1   = 0xCE // data register
+)
+
+// Bootloader wire protocol (master -> application):
+//
+//	'P' ext hi lo <256 page bytes>   program one flash page at the
+//	                                 byte address ext:hi:lo
+//	'Q'                              quit: jump to the application
+const (
+	BootCmdProgram = 'P'
+	BootCmdQuit    = 'Q'
+)
+
+// GenerateBootloader builds the prototype's serial bootloader: the
+// resident loader in the boot (NRWW) section that lets the master
+// processor reprogram the application over USART1 (paper §VI-B4). It
+// really executes: pages arrive over the wire and are committed with
+// the SPM page-erase / buffer-fill / page-write sequence.
+//
+// Because the bootloader must sit at a fixed address, its code is never
+// randomized — the paper warns that it "provides targets for an ROP
+// attack" and that a production system should use the hardware
+// In-System Programming interface instead. The loader contains the
+// realistic code shapes that make this true: a stack-pointer reset
+// before jumping to the application (a stk_move gadget) and a buffered
+// three-byte record writer (a write_mem gadget). The §VI-B4 ablation
+// shows attacks built on these surviving every randomization, and
+// disappearing in hardware-ISP builds.
+func GenerateBootloader() ([]byte, error) {
+	b := asm.NewBuilder()
+
+	b.Label("boot_entry")
+	// Minimal init: stack at top of SRAM, interrupts off, watchdog off.
+	top := avr.DataSpaceSize - 1
+	b.Emit(asm.CLI)
+	b.Emit(asm.LDI(28, top&0xFF), asm.LDI(29, top>>8))
+	b.Emit(asm.OUT(avr.IOAddrSPL, 28), asm.OUT(avr.IOAddrSPH, 29))
+	b.Emit(asm.WDR)
+
+	b.Label("boot_rx_cmd")
+	b.RCALL("boot_getc")
+	b.Emit(asm.CPI(24, BootCmdProgram))
+	b.BRBS(avr.FlagZ, "boot_cmd_prog")
+	b.Emit(asm.CPI(24, BootCmdQuit))
+	b.BRBC(avr.FlagZ, "boot_rx_cmd")
+	b.RJMP("boot_run_app")
+
+	// Program one page: 3 address bytes, then 256 data bytes.
+	b.Label("boot_cmd_prog")
+	b.RCALL("boot_getc")
+	b.Emit(asm.OUT(avr.IOAddrRAMPZ, 24)) // ext
+	b.RCALL("boot_getc")
+	b.Emit(asm.MOV(31, 24)) // hi
+	b.RCALL("boot_getc")
+	b.Emit(asm.MOV(30, 24)) // lo
+	// Erase the page.
+	b.Emit(asm.LDI(24, 1<<avr.BitPGERS|1<<avr.BitSPMEN))
+	b.Emit2(asm.STS(avr.AddrSPMCSR, 24))
+	b.Emit(asm.SPM)
+	// Fill the temporary buffer: 128 words from the wire.
+	b.Emit(asm.LDI(25, 128))
+	b.Label("boot_fill")
+	b.RCALL("boot_getc")
+	b.Emit(asm.MOV(0, 24))
+	b.RCALL("boot_getc")
+	b.Emit(asm.MOV(1, 24))
+	b.Emit(asm.LDI(24, 1<<avr.BitSPMEN))
+	b.Emit2(asm.STS(avr.AddrSPMCSR, 24))
+	b.Emit(asm.SPM)
+	b.Emit(asm.ADIW(30, 2))
+	b.Emit(asm.DEC(25))
+	b.BRBC(avr.FlagZ, "boot_fill")
+	// Back to the page base and commit.
+	b.Emit(asm.SUBI(30, 0), asm.SBCI(31, 1)) // Z -= 256
+	b.Emit(asm.LDI(24, 1<<avr.BitPGWRT|1<<avr.BitSPMEN))
+	b.Emit2(asm.STS(avr.AddrSPMCSR, 24))
+	b.Emit(asm.SPM)
+	b.Emit(asm.EOR(1, 1)) // restore the zero register
+	b.RJMP("boot_rx_cmd")
+
+	// Blocking UART1 read into r24.
+	b.Label("boot_getc")
+	b.Emit2(asm.LDS(24, AddrUCSR1A))
+	b.Emit(asm.SBRS(24, 7)) // RXC1
+	b.RJMP("boot_getc")
+	b.Emit2(asm.LDS(24, AddrUDR1))
+	b.Emit(asm.RET)
+
+	// Record writer: store a 3-byte record at the buffered address in Y
+	// and restore the saved register file — the bootloader's own
+	// write_mem-shaped code (used by its paging bookkeeping).
+	b.Label("boot_write_record")
+	for r := 4; r <= 17; r++ {
+		b.Emit(asm.PUSH(r))
+	}
+	b.Emit(asm.PUSH(28), asm.PUSH(29))
+	b.Emit2(asm.LDS(28, 0x2004))
+	b.Emit2(asm.LDS(29, 0x2005))
+	b.Emit2(asm.LDS(5, 0x2006))
+	b.Emit2(asm.LDS(6, 0x2007))
+	b.Emit2(asm.LDS(7, 0x2008))
+	b.Emit(asm.STDY(1, 5))
+	b.Emit(asm.STDY(2, 6))
+	b.Emit(asm.STDY(3, 7))
+	b.Emit(asm.POP(29), asm.POP(28))
+	for r := 17; r >= 4; r-- {
+		b.Emit(asm.POP(r))
+	}
+	b.Emit(asm.RET)
+
+	// Hand over to the application: stage the application reset vector
+	// (word 0) as a return address, run the interrupt-safe SP restore,
+	// and return through it — the bootloader's own stk_move-shaped
+	// code, ending in the ret that starts the application.
+	b.Label("boot_run_app")
+	b.Emit(asm.LDI(24, 0))
+	b.Emit(asm.PUSH(24), asm.PUSH(24), asm.PUSH(24)) // 3-byte entry 0x000000
+	b.Emit(asm.PUSH(16), asm.PUSH(29), asm.PUSH(28))
+	b.Emit(asm.IN(28, avr.IOAddrSPL), asm.IN(29, avr.IOAddrSPH))
+	b.Emit(asm.IN(0, avr.IOAddrSREG))
+	b.Emit(asm.CLI)
+	b.Emit(asm.OUT(avr.IOAddrSPH, 29))
+	b.Emit(asm.OUT(avr.IOAddrSREG, 0))
+	b.Emit(asm.OUT(avr.IOAddrSPL, 28))
+	b.Emit(asm.POP(28), asm.POP(29), asm.POP(16))
+	b.Emit(asm.RET) // consumes the staged zeros: jump to the application
+
+	return b.Assemble()
+}

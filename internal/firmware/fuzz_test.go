@@ -1,0 +1,95 @@
+package firmware_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavr/internal/firmware"
+	"mavr/internal/mavlink"
+)
+
+// Random serial garbage must never crash the firmware: the receive
+// state machine resynchronizes and only a well-formed over-long
+// PARAM_SET can reach the vulnerable copy.
+func TestFirmwareSurvivesRandomSerialGarbage(t *testing.T) {
+	img := genTest(t)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		tb := boot(t, img)
+		junk := make([]byte, 600)
+		rng.Read(junk)
+		// Avoid accidentally forming an over-long PARAM_SET: cap any
+		// length byte that follows a magic byte. (A real attacker needs
+		// a correctly framed packet; random noise triggering the
+		// overflow is the 1-in-many case we separately construct.)
+		for i := 0; i+1 < len(junk); i++ {
+			if junk[i] == 0xFE && junk[i+1] > firmware.HandlerBufBytes {
+				junk[i+1] = firmware.HandlerBufBytes
+			}
+		}
+		tb.rx = append(tb.rx, junk...)
+		if f := tb.run(t, 3_000_000); f != nil {
+			t.Fatalf("trial %d: firmware crashed on garbage: %v", trial, f)
+		}
+		if len(tb.rx) != 0 {
+			t.Fatalf("trial %d: firmware stopped consuming input", trial)
+		}
+	}
+}
+
+// Well-formed frames of every known message id (schema lengths) must be
+// consumed without crashing; only PARAM_SET is dispatched.
+func TestFirmwareSurvivesAllMessageKinds(t *testing.T) {
+	img := genTest(t)
+	tb := boot(t, img)
+	rng := rand.New(rand.NewSource(7))
+	ids := []byte{
+		mavlink.MsgIDHeartbeat, mavlink.MsgIDSysStatus, mavlink.MsgIDParamValue,
+		mavlink.MsgIDGPSRawInt, mavlink.MsgIDRawIMU, mavlink.MsgIDAttitude,
+		mavlink.MsgIDGlobalPositionInt, mavlink.MsgIDMissionItem,
+		mavlink.MsgIDMissionCount, mavlink.MsgIDCommandLong, mavlink.MsgIDStatusText,
+	}
+	for _, id := range ids {
+		n, _ := mavlink.ExpectedLen(id)
+		payload := make([]byte, n)
+		rng.Read(payload)
+		fr := &mavlink.Frame{MsgID: id, Payload: payload}
+		wire, err := fr.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.rx = append(tb.rx, wire...)
+	}
+	if f := tb.run(t, 5_000_000); f != nil {
+		t.Fatalf("firmware crashed on benign message mix: %v", f)
+	}
+	if len(tb.rx) != 0 {
+		t.Fatal("firmware stopped consuming input")
+	}
+}
+
+// Truncated and interleaved frames resynchronize.
+func TestFirmwareResyncsAfterTruncatedFrames(t *testing.T) {
+	img := genTest(t)
+	tb := boot(t, img)
+	ps := &mavlink.ParamSet{ParamID: "GOOD"}
+	payload := ps.Marshal()
+	payload[0] = 0x42
+	good := &mavlink.Frame{MsgID: mavlink.MsgIDParamSet, Payload: payload}
+	wire, err := good.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A truncated frame (header only), then garbage, then a good frame.
+	tb.rx = append(tb.rx, wire[:9]...)
+	// The state machine is mid-frame; it will consume the next bytes as
+	// payload/CRC. Feed filler until it resets, then the real frame.
+	tb.rx = append(tb.rx, make([]byte, 40)...)
+	tb.rx = append(tb.rx, wire...)
+	if f := tb.run(t, 4_000_000); f != nil {
+		t.Fatalf("fault: %v", f)
+	}
+	if got := tb.cpu.Data[firmware.AddrParamVal]; got != 0x42 {
+		t.Errorf("param value 0x%02X after resync, want 0x42", got)
+	}
+}

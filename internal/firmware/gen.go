@@ -1,0 +1,384 @@
+package firmware
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mavr/internal/asm"
+	"mavr/internal/avr"
+	"mavr/internal/elfobj"
+)
+
+// Image is a generated autopilot firmware build.
+type Image struct {
+	Spec   AppSpec
+	Mode   ToolchainMode
+	Layout Layout
+	// ELF is the linked executable with full symbol information, the
+	// artifact the MAVR preprocessor consumes.
+	ELF *elfobj.File
+	// Flash is the flat flash image (== ELF.Text).
+	Flash []byte
+	// PtrFlashOffsets are the flash byte offsets (inside the .data load
+	// image) of every function-pointer word; ground truth for testing
+	// the preprocessor's pointer scan.
+	PtrFlashOffsets []uint32
+	// PtrDataAddrs are the matching data-space addresses after startup
+	// copies .data to SRAM.
+	PtrDataAddrs []uint16
+	// Bootloader is the fixed-location serial bootloader code placed at
+	// BootloaderStart (nil for hardware-ISP builds).
+	Bootloader []byte
+	// RelaxedCalls counts call->rcall linker relaxations (stock mode).
+	RelaxedCalls int
+	// SharedPrologues counts functions using the -mcall-prologues
+	// shared save/restore blocks (stock mode).
+	SharedPrologues int
+}
+
+const (
+	schedTableLen  = 16
+	directTableLen = 8
+)
+
+type funcSym struct {
+	name       string
+	label      string
+	start, end uint32 // word addresses
+}
+
+type generator struct {
+	spec    AppSpec
+	mode    ToolchainMode
+	rng     *rand.Rand
+	b       *asm.Builder
+	funcs   []funcSym
+	depth   map[int]int
+	relaxed int
+	shared  int
+	layout  Layout
+
+	ptrFlashOffsets []uint32
+	ptrDataAddrs    []uint16
+}
+
+func (g *generator) schedLen() int { return schedTableLen }
+
+func (g *generator) directLen() int { return directTableLen }
+
+func (g *generator) dataLoadSize() int {
+	n := schedTableLen * 2
+	if g.spec.DirectPointerTable {
+		n += directTableLen * 2
+	}
+	return n + WaypointCount*WaypointSize
+}
+
+// waypointsAddr is the data-space address of the mission table, after
+// the function-pointer tables in .data.
+func (g *generator) waypointsAddr() uint16 {
+	n := schedTableLen * 2
+	if g.spec.DirectPointerTable {
+		n += directTableLen * 2
+	}
+	return uint16(int(AddrDataSection) + n)
+}
+
+// beginFunc/endFunc bracket one function's emission for the symbol
+// table.
+func (g *generator) beginFunc(name, label string) {
+	g.funcs = append(g.funcs, funcSym{name: name, label: label, start: g.b.Here()})
+}
+
+func (g *generator) endFunc() {
+	g.funcs[len(g.funcs)-1].end = g.b.Here()
+}
+
+func (g *generator) runtimeFunc(name string, emit func()) {
+	g.beginFunc(name, name)
+	emit()
+	g.endFunc()
+}
+
+// Generate builds the application described by spec with the given
+// toolchain mode.
+func Generate(spec AppSpec, mode ToolchainMode) (*Image, error) {
+	g := &generator{
+		spec:  spec,
+		mode:  mode,
+		rng:   rand.New(rand.NewSource(spec.Seed ^ int64(mode)<<32)),
+		b:     asm.NewBuilder(),
+		depth: make(map[int]int),
+	}
+	b := g.b
+
+	// --- Interrupt vector table (fixed region; targets patched). ---
+	for v := 0; v < NumVectors; v++ {
+		switch v {
+		case avr.VectorReset:
+			b.JMP("__init")
+		case avr.VectorTimer0Ovf:
+			b.JMP("__vector_timer0")
+		default:
+			b.JMP("__bad_interrupt")
+		}
+	}
+	g.layout.VectorWords = b.Here()
+
+	// --- Dispatch stub table (fixed low-flash region). Scheduler
+	// function pointers aim here so 16-bit pointers stay valid on a
+	// 256KB device; the stub jmp targets are patched on randomization.
+	g.layout.StubTableStart = b.Here()
+	g.layout.StubCount = schedTableLen
+	taskBase := g.generatedCount() - schedTableLen
+	for i := 0; i < schedTableLen; i++ {
+		b.Label(stubLabel(i))
+		b.JMP(fnLabel(taskBase + i))
+	}
+
+	// --- Shuffleable function region. ---
+	// The runtime functions are interleaved at seed-dependent positions
+	// among the generated ones, so different builds (and different
+	// applications) place every function — including the attack's
+	// gadget hosts and the vulnerable handler — at different addresses,
+	// as a real link order would.
+	g.layout.FuncRegionStart = b.HereBytes()
+	n := g.generatedCount()
+	if n < schedTableLen+directTableLen {
+		return nil, fmt.Errorf("firmware: %s needs at least %d functions, spec has %d total",
+			spec.Name, schedTableLen+directTableLen+g.runtimeFuncCount(), spec.Functions)
+	}
+	type rtEmit struct {
+		name string
+		emit func()
+	}
+	runtimeFns := []rtEmit{
+		{"__init", g.emitInit},
+		{"__bad_interrupt", g.emitBadInterrupt},
+		{"__vector_timer0", g.emitTimerISR},
+		{"main_loop", g.emitMainLoop},
+		{"gyro_update", g.emitGyroUpdate},
+		{"rx_byte", g.emitRxByte},
+		{"handle_param_set", g.emitHandleParamSet},
+		{"sched_dispatch", g.emitSchedDispatch},
+		{"AP_AHRS_update_matrix_fp", g.emitStkMoveHost},
+		{"AP_Param_save_block_fp", g.emitWriteMemHost},
+		{"nav_update", g.emitNavUpdate},
+		{"mav_tx_frame", g.emitMavTxFrame},
+		{"mav_send_heartbeat", g.emitSendHeartbeat},
+		{"mav_send_raw_imu", g.emitSendRawIMU},
+		{"mav_send_param_value", g.emitSendParamValue},
+	}
+	if spec.StackCanaries {
+		runtimeFns = append(runtimeFns, rtEmit{"__canary_fail", g.emitCanaryFail})
+	}
+	insertAt := make(map[int][]rtEmit)
+	for _, rf := range runtimeFns {
+		at := g.rng.Intn(n)
+		insertAt[at] = append(insertAt[at], rf)
+	}
+	avgBody := g.bodyBudget(n)
+	if mode == ModeStock {
+		g.emitStockBlocks()
+	}
+	for i := 0; i < n; i++ {
+		for _, rf := range insertAt[i] {
+			g.runtimeFunc(rf.name, rf.emit)
+		}
+		body := avgBody/2 + g.rng.Intn(avgBody+1)
+		g.beginFunc(funcName(g.rng, i), fnLabel(i))
+		g.emitFunction(i, body)
+		g.endFunc()
+	}
+	g.layout.FuncRegionEnd = b.HereBytes()
+
+	// --- .data load image: the function-pointer tables. ---
+	b.Label("__data_load")
+	g.layout.DataLoadStart = b.HereBytes()
+	for i := 0; i < schedTableLen; i++ {
+		g.ptrFlashOffsets = append(g.ptrFlashOffsets, b.HereBytes())
+		g.ptrDataAddrs = append(g.ptrDataAddrs, uint16(int(AddrDataSection)+2*i))
+		b.DWLabel(stubLabel(i))
+	}
+	if spec.DirectPointerTable {
+		for i := 0; i < directTableLen; i++ {
+			g.ptrFlashOffsets = append(g.ptrFlashOffsets, b.HereBytes())
+			g.ptrDataAddrs = append(g.ptrDataAddrs, uint16(int(AddrDataSection)+2*(schedTableLen+i)))
+			// Raw word addresses of low-flash functions.
+			b.DWLabel(fnLabel(i))
+		}
+	}
+	// Mission table: WaypointCount waypoints of (lat16, lon16) bytes.
+	g.layout.WaypointsAddr = g.waypointsAddr()
+	for i := 0; i < WaypointCount; i++ {
+		b.DW(uint16(0x1000 + g.rng.Intn(0x8000))) // lat
+		b.DW(uint16(0x1000 + g.rng.Intn(0x8000))) // lon
+	}
+	g.layout.DataLoadSize = uint32(g.dataLoadSize())
+	g.layout.SchedTableAddr = AddrDataSection
+	g.layout.SchedTableLen = schedTableLen
+	if spec.DirectPointerTable {
+		g.layout.DirectTableAddr = uint16(int(AddrDataSection) + 2*schedTableLen)
+		g.layout.DirectTableLen = directTableLen
+	}
+
+	// --- Calibration table: pad to the paper's exact code size. ---
+	g.layout.CalibrationStart = b.HereBytes()
+	target := spec.TargetSize
+	if mode == ModeStock {
+		target = spec.TargetSizeStock
+	}
+	if target > 0 {
+		cur := int(b.HereBytes())
+		if cur > target {
+			return nil, fmt.Errorf("firmware: %s/%s generated %d bytes, exceeds target %d",
+				spec.Name, mode, cur, target)
+		}
+		for int(b.HereBytes()) < target {
+			b.DW(uint16(g.rng.Intn(0x10000)))
+		}
+	}
+	g.layout.CalibrationSize = b.HereBytes() - g.layout.CalibrationStart
+
+	image, err := b.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("firmware: assemble %s/%s: %w", spec.Name, mode, err)
+	}
+	if len(image) > avr.FlashSize {
+		return nil, fmt.Errorf("firmware: %s/%s image %d bytes exceeds flash", spec.Name, mode, len(image))
+	}
+
+	elf := &elfobj.File{
+		Text:     image,
+		Data:     append([]byte(nil), image[g.layout.DataLoadStart:g.layout.DataLoadStart+g.layout.DataLoadSize]...),
+		DataAddr: AddrDataSection,
+		DataLMA:  g.layout.DataLoadStart,
+	}
+	for _, fs := range g.funcs {
+		start, ok := b.LabelAddr(fs.label)
+		if !ok {
+			return nil, fmt.Errorf("firmware: lost label %q", fs.label)
+		}
+		elf.Symbols = append(elf.Symbols, elfobj.Symbol{
+			Name:  fs.name,
+			Value: start * 2,
+			Size:  (fs.end - fs.start) * 2,
+			Kind:  elfobj.SymFunc,
+		})
+	}
+	elf.Symbols = append(elf.Symbols, elfobj.Symbol{
+		Name: "scheduler_tasks", Value: AddrDataSection,
+		Size: uint32(schedTableLen * 2), Kind: elfobj.SymObject,
+	})
+	elf.Symbols = append(elf.Symbols, elfobj.Symbol{
+		Name: "mission_waypoints", Value: uint32(g.layout.WaypointsAddr),
+		Size: uint32(WaypointCount * WaypointSize), Kind: elfobj.SymObject,
+	})
+	if spec.DirectPointerTable {
+		elf.Symbols = append(elf.Symbols, elfobj.Symbol{
+			Name: "dispatch_direct", Value: uint32(g.layout.DirectTableAddr),
+			Size: uint32(directTableLen * 2), Kind: elfobj.SymObject,
+		})
+	}
+
+	out := &Image{
+		Spec:            spec,
+		Mode:            mode,
+		Layout:          g.layout,
+		ELF:             elf,
+		Flash:           image,
+		PtrFlashOffsets: g.ptrFlashOffsets,
+		PtrDataAddrs:    g.ptrDataAddrs,
+		RelaxedCalls:    g.relaxed,
+		SharedPrologues: g.shared,
+	}
+	if spec.Bootloader {
+		boot, err := GenerateBootloader()
+		if err != nil {
+			return nil, fmt.Errorf("firmware: bootloader: %w", err)
+		}
+		if len(boot) > BootloaderMax {
+			return nil, fmt.Errorf("firmware: bootloader %d bytes exceeds boot section", len(boot))
+		}
+		out.Bootloader = boot
+	}
+	return out, nil
+}
+
+// FullFlash returns the complete program memory view: the application
+// image with the resident bootloader overlaid at BootloaderStart. For
+// hardware-ISP builds it is just the application image.
+func (img *Image) FullFlash() []byte {
+	if img.Bootloader == nil {
+		return img.Flash
+	}
+	full := make([]byte, avr.FlashSize)
+	for i := range full {
+		full[i] = 0xFF
+	}
+	copy(full, img.Flash)
+	copy(full[BootloaderStart:], img.Bootloader)
+	return full
+}
+
+// emitStockBlocks emits the shared -mcall-prologues save/restore blocks
+// as four function symbols, as the recompiled libgcc provides them.
+func (g *generator) emitStockBlocks() {
+	// Re-emit with proper symbol brackets.
+	for _, k := range []int{2, 4} {
+		g.beginFunc(prologueBlockName(k), prologueBlockName(k))
+		g.b.Label(prologueBlockName(k))
+		for _, r := range savedRegs(k) {
+			g.b.Emit(asm.PUSH(r))
+		}
+		g.b.Emit(asm.IJMP)
+		g.endFunc()
+		g.beginFunc(epilogueBlockName(k), epilogueBlockName(k))
+		g.b.Label(epilogueBlockName(k))
+		regs := savedRegs(k)
+		for i := len(regs) - 1; i >= 0; i-- {
+			g.b.Emit(asm.POP(regs[i]))
+		}
+		g.b.Emit(asm.RET)
+		g.endFunc()
+	}
+}
+
+// runtimeFuncCount is the number of non-generated function symbols.
+func (g *generator) runtimeFuncCount() int {
+	n := 15 // fixed runtime skeleton incl. ISR, nav, MAVLink TX
+	if g.spec.StackCanaries {
+		n++
+	}
+	if g.mode == ModeStock {
+		n += 4 // shared call-prologue blocks
+	}
+	return n
+}
+
+// generatedCount is how many synthetic functions to emit so the symbol
+// total matches Table I exactly.
+func (g *generator) generatedCount() int { return g.spec.Functions - g.runtimeFuncCount() }
+
+// bodyBudget estimates the average body length (words) that lands the
+// image near (just under) the calibration target; the calibration table
+// absorbs the remainder.
+func (g *generator) bodyBudget(n int) int {
+	target := g.spec.TargetSize
+	if g.mode == ModeStock {
+		target = g.spec.TargetSizeStock
+	}
+	if target == 0 {
+		return 40
+	}
+	overheadWords := 2200 // vectors, stubs, runtime, data, slack
+	avg := (target/2 - overheadWords) * 92 / 100 / n
+	// Subtract the per-function prologue/epilogue/call overhead (~14w).
+	avg -= 14
+	if avg < 8 {
+		avg = 8
+	}
+	return avg
+}
+
+func stubLabel(i int) string { return fmt.Sprintf("stub_%d", i) }

@@ -1,0 +1,159 @@
+package firmware
+
+// Data-space layout of the synthetic autopilot. These addresses are
+// stable across applications and toolchain modes; the attack package
+// uses them the way the paper's attacker uses knowledge of the
+// unprotected binary.
+const (
+	// AddrGyro holds the gyroscope X reading (the sensor value the
+	// paper's attack V1 modifies).
+	AddrGyro = 0x0200
+	// AddrGyroCfg is the gyroscope configuration byte added into every
+	// reading — the paper notes attackers would target configuration
+	// state for a continuous effect (§IV-C).
+	AddrGyroCfg = 0x0206
+	// AddrParamVal is where handle_param_set stores the decoded value.
+	AddrParamVal = 0x0208
+	// AddrHBSeq is the telemetry pulse sequence counter.
+	AddrHBSeq = 0x020C
+	// RX state machine registers.
+	AddrRxState = 0x020D
+	AddrRxLen   = 0x020E
+	AddrRxIdx   = 0x020F
+	AddrRxMsgID = 0x0210
+	// AddrSchedIdx is the scheduler's rotating task index.
+	AddrSchedIdx = 0x0211
+	// AddrWritePtr is a two-byte global pointer used by the function
+	// hosting the write_mem_gadget (Fig. 5); during normal operation it
+	// aims the gadget's std Y+q stores at the scratch area.
+	AddrWritePtr = 0x0212
+	// AddrWriteVals is the 3-byte global the write_mem host function
+	// loads r5..r7 from.
+	AddrWriteVals = 0x0214
+	// AddrUptime is a 16-bit tick counter incremented by the TIMER0
+	// overflow interrupt handler.
+	AddrUptime = 0x0218
+	// AddrCanaryFails counts stack-smashing detections when the
+	// firmware is built with stack canaries (§IX ablation).
+	AddrCanaryFails = 0x021A
+	// AddrCurWaypoint is the active waypoint index (0..3).
+	AddrCurWaypoint = 0x021C
+	// AddrHeading is the commanded heading derived from the active
+	// waypoint — the navigation state the paper's abstract says a
+	// stealthy attacker can modify.
+	AddrHeading = 0x021D
+	// AddrMavSeq is the MAVLink heartbeat sequence counter.
+	AddrMavSeq = 0x021E
+	// AddrTxBuf is the scratch buffer heartbeat frames are built in.
+	AddrTxBuf = 0x0500
+
+	// WaypointCount and WaypointSize define the mission table copied
+	// into .data at startup: WaypointCount entries of lat/lon bytes.
+	WaypointCount = 4
+	WaypointSize  = 4
+
+	// AddrDataSection is the load address of the initialized .data
+	// section (the scheduler function-pointer tables).
+	AddrDataSection = 0x0220
+	// AddrRxBuf is the global MAVLink payload buffer (256 bytes).
+	AddrRxBuf = 0x0300
+	// AddrScratch is the base of the scratch globals used by generated
+	// function bodies.
+	AddrScratch = 0x0600
+	// AddrFreeMem is unused SRAM, where the paper's V3 trampoline
+	// attack stages its large payload.
+	AddrFreeMem = 0x1000
+
+	// Memory-mapped peripkerals (data-space addresses).
+	AddrADCL         = 0x78 // raw gyro sample, supplied by the board model
+	AddrUCSR0A       = 0xC0 // USART0 status: bit7 RXC, bit5 UDRE
+	AddrUDR0         = 0xC6 // USART0 data register
+	AddrWatchdogFeed = 0x25 // PORTB: any write feeds the master's watchdog
+	AddrBootNotify   = 0x28 // PORTC: startup handshake pulse to the master
+
+	// BitRXC and BitUDRE are the UCSR0A status bits.
+	BitRXC  = 7
+	BitUDRE = 5
+
+	// EEPROMCfgAddr is where the persistent gyro configuration lives in
+	// EEPROM (Fig. 1: EEPROM holds configuration settings).
+	EEPROMCfgAddr = 0
+	// EEPROMParamAddr is where the last PARAM_SET value byte is
+	// persisted.
+	EEPROMParamAddr = 4
+
+	// CanaryByte is the stack-canary fill value for the §IX ablation.
+	CanaryByte = 0xC3
+)
+
+// Bootloader geometry: the prototype's serial bootloader sits at a
+// fixed location at the top of flash (§VI-B4) — static code that
+// randomization never moves.
+const (
+	// BootloaderStart is the byte address of the boot section (8 KB
+	// NRWW section of the ATmega2560).
+	BootloaderStart = 0x3E000
+	// BootloaderMax is the boot section size.
+	BootloaderMax = 8 * 1024
+)
+
+// Vulnerable-handler frame geometry (see the runtime generator).
+const (
+	// HandlerBufBytes is the size of handle_param_set's stack buffer.
+	HandlerBufBytes = 64
+	// HandlerFrameBytes is the full frame allocation.
+	HandlerFrameBytes = 80
+	// HandlerSavedRegs is the number of single-register pushes in the
+	// handler prologue (r29, r28, r17, r16).
+	HandlerSavedRegs = 4
+	// RxFrameBytes is rx_byte's local frame (packet scratch), which
+	// places the vulnerable handler realistically below the top of
+	// SRAM.
+	RxFrameBytes = 96
+)
+
+// Telemetry pulse constants: the firmware emits [PulseMagic, seq, gyro,
+// heading] every main-loop iteration, and a full MAVLink HEARTBEAT
+// frame every HeartbeatEvery pulses; the ground station's stealth
+// monitor watches both streams for gaps, garbage and state changes.
+const (
+	PulseMagic     = 0xA5
+	PulseSize      = 4
+	HeartbeatEvery = 64 // pulses between MAVLink heartbeats
+	HeartbeatLen   = 17 // 6 header + 9 payload + 2 crc
+)
+
+// NumVectors is the ATmega2560 interrupt vector count (reset + 56).
+const NumVectors = 57
+
+// Layout records where the generator placed everything; the attack,
+// defense and board packages consume it instead of hard-coding offsets.
+type Layout struct {
+	// VectorWords is the size of the interrupt vector table in words.
+	VectorWords uint32
+	// StubTableWords is the word address of the first dispatch stub.
+	StubTableStart uint32
+	// StubCount is the number of jmp stubs.
+	StubCount int
+	// FuncRegionStart/End delimit the shuffleable function region
+	// (byte addresses).
+	FuncRegionStart uint32
+	FuncRegionEnd   uint32
+	// DataLoadStart is the flash byte address of the .data load image.
+	DataLoadStart uint32
+	// DataLoadSize is its size in bytes.
+	DataLoadSize uint32
+	// CalibrationStart/Size is the flash-resident padding table.
+	CalibrationStart uint32
+	CalibrationSize  uint32
+	// SchedTableAddr is the data-space address of the stub-pointer
+	// scheduler table; SchedTableLen its entry count.
+	SchedTableAddr uint16
+	SchedTableLen  int
+	// DirectTableAddr is the data-space address of the raw
+	// function-pointer table (0 when absent).
+	DirectTableAddr uint16
+	DirectTableLen  int
+	// WaypointsAddr is the data-space address of the mission table.
+	WaypointsAddr uint16
+}

@@ -1,0 +1,37 @@
+package firmware
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Function names are synthesized from the vocabulary of the ArduPilot
+// codebase so listings and symbol tables read like the real firmware.
+var (
+	nameModules = []string{
+		"AP_AHRS", "AP_Baro", "AP_Compass", "AP_GPS", "AP_InertialSensor",
+		"AP_Mission", "AP_Motors", "AP_Param", "AP_RangeFinder", "AP_Scheduler",
+		"GCS_MAVLink", "RC_Channel", "AC_PID", "AP_Airspeed", "AP_BattMonitor",
+		"AP_Camera", "AP_Declination", "AP_HAL", "AP_Math", "AP_Mount",
+		"AP_Navigation", "AP_Relay", "AP_ServoRelay", "DataFlash", "Filter",
+	}
+	nameVerbs = []string{
+		"update", "init", "read", "write", "calc", "set", "get", "check",
+		"calibrate", "reset", "enable", "disable", "send", "handle", "process",
+		"normalize", "apply", "load", "save", "poll",
+	}
+	nameObjects = []string{
+		"state", "offsets", "gains", "raw", "filtered", "target", "output",
+		"input", "trim", "limits", "rate", "angle", "position", "velocity",
+		"accel", "bias", "scale", "matrix", "quaternion", "packet",
+	}
+)
+
+// funcName deterministically produces a plausible autopilot function
+// name; an index suffix keeps names unique.
+func funcName(rng *rand.Rand, i int) string {
+	m := nameModules[rng.Intn(len(nameModules))]
+	v := nameVerbs[rng.Intn(len(nameVerbs))]
+	o := nameObjects[rng.Intn(len(nameObjects))]
+	return fmt.Sprintf("%s_%s_%s_%d", m, v, o, i)
+}

@@ -1,0 +1,705 @@
+package firmware
+
+import (
+	"mavr/internal/asm"
+	"mavr/internal/avr"
+)
+
+// Register of the firmware runtime: the fixed control skeleton every
+// generated application shares. Each emit* method defines one function
+// (with its label) on the builder; gen.go records the symbols.
+
+// emitSPWrite emits the interrupt-safe stack-pointer write idiom avr-gcc
+// uses (in r0,SREG; cli; out SPH; out SREG; out SPL). The SREG restore
+// between the two SP writes relies on the hardware's one-instruction
+// SEI delay; the visible window starting at "out 0x3e, r29" is the
+// paper's Fig. 4 stk_move gadget.
+func (g *generator) emitSPWrite() {
+	b := g.b
+	b.Emit(asm.IN(0, avr.IOAddrSREG))
+	b.Emit(asm.CLI)
+	b.Emit(asm.OUT(avr.IOAddrSPH, 29))
+	b.Emit(asm.OUT(avr.IOAddrSREG, 0))
+	b.Emit(asm.OUT(avr.IOAddrSPL, 28))
+}
+
+// emitInit emits the C-runtime startup: stack pointer setup, zero
+// register, .data copy from flash, jump to the main loop.
+func (g *generator) emitInit() {
+	b := g.b
+	b.Label("__init")
+	top := avr.DataSpaceSize - 1
+	b.Emit(asm.LDI(28, top&0xFF), asm.LDI(29, top>>8))
+	b.Emit(asm.OUT(avr.IOAddrSPL, 28), asm.OUT(avr.IOAddrSPH, 29))
+	b.Emit(asm.EOR(1, 1)) // r1 = zero register (avr-gcc convention)
+
+	// Boot handshake: tell the master processor we are (re)starting.
+	// An unexpected pulse is how the master's timing analysis notices a
+	// crash-and-restart caused by a failed ROP attempt.
+	b.Emit(asm.LDI(24, 0xB0))
+	b.Emit(asm.OUT(0x08, 24)) // PORTC
+
+	// Initialize the write_mem host function's pointer and values.
+	b.Emit(asm.LDI(24, AddrScratch&0xFF), asm.LDI(25, AddrScratch>>8))
+	b.Emit2(asm.STS(AddrWritePtr, 24))
+	b.Emit2(asm.STS(AddrWritePtr+1, 25))
+
+	// Load the persistent gyro configuration from EEPROM (Fig. 1: the
+	// EEPROM holds configuration settings).
+	b.Emit(asm.LDI(24, EEPROMCfgAddr))
+	b.Emit(asm.OUT(avr.AddrEEARL-avr.IOBase, 24))
+	b.Emit(asm.OUT(avr.AddrEEARH-avr.IOBase, 1))
+	b.Emit(asm.SBI(avr.AddrEECR-avr.IOBase, avr.BitEERE))
+	b.Emit(asm.IN(24, avr.AddrEEDR-avr.IOBase))
+	b.Emit2(asm.STS(AddrGyroCfg, 24))
+
+	// Copy .data (scheduler tables) from flash to SRAM. The load image
+	// may live above 128KB, so use elpm with RAMPZ.
+	size := g.dataLoadSize()
+	if size > 0 {
+		b.LDIByteAddr(30, "__data_load", 0)
+		b.LDIByteAddr(31, "__data_load", 8)
+		b.LDIByteAddr(16, "__data_load", 16)
+		b.Emit(asm.OUT(avr.IOAddrRAMPZ, 16))
+		b.Emit(asm.LDI(26, AddrDataSection&0xFF), asm.LDI(27, AddrDataSection>>8))
+		b.Emit(asm.LDI(24, size&0xFF), asm.LDI(25, size>>8))
+		b.Label("__init_copy")
+		b.Emit(asm.ELPMZInc(0))
+		b.Emit(asm.STXInc(0))
+		b.Emit(asm.SBIW(24, 1))
+		b.BRBC(avr.FlagZ, "__init_copy")
+	}
+	b.Emit(asm.SEI) // enable the timer tick interrupt
+	b.JMP("main_loop")
+}
+
+// emitTimerISR emits the TIMER0 overflow handler: a classic
+// register-preserving ISR that advances the 16-bit uptime counter. It
+// is an ordinary function block, so randomization moves it and the
+// vector-table patcher must keep the interrupt working.
+func (g *generator) emitTimerISR() {
+	b := g.b
+	b.Label("__vector_timer0")
+	b.Emit(asm.PUSH(24))
+	b.Emit(asm.IN(24, avr.IOAddrSREG))
+	b.Emit(asm.PUSH(24))
+	b.Emit(asm.PUSH(25))
+	b.Emit2(asm.LDS(24, AddrUptime))
+	b.Emit2(asm.LDS(25, AddrUptime+1))
+	b.Emit(asm.ADIW(24, 1))
+	b.Emit2(asm.STS(AddrUptime, 24))
+	b.Emit2(asm.STS(AddrUptime+1, 25))
+	b.Emit(asm.POP(25))
+	b.Emit(asm.POP(24))
+	b.Emit(asm.OUT(avr.IOAddrSREG, 24))
+	b.Emit(asm.POP(24))
+	b.Emit(asm.RETI)
+}
+
+// emitBadInterrupt emits the default interrupt handler.
+func (g *generator) emitBadInterrupt() {
+	b := g.b
+	b.Label("__bad_interrupt")
+	b.JMP("__init")
+}
+
+// emitMainLoop emits the flight main loop: watchdog feed, telemetry
+// pulse, serial receive poll, gyro update and scheduler dispatch.
+func (g *generator) emitMainLoop() {
+	b := g.b
+	b.Label("main_loop")
+	// Feed the master processor's watchdog (any PORTB write).
+	b.Emit(asm.OUT(0x05, 24))
+	// Telemetry pulse [PulseMagic, seq, gyro] when the UART can accept it.
+	b.Emit2(asm.LDS(24, AddrUCSR0A))
+	b.Emit(asm.SBRC(24, BitUDRE))
+	b.RJMP("ml_tx")
+	b.RJMP("ml_rx")
+	b.Label("ml_tx")
+	b.Emit(asm.LDI(24, PulseMagic))
+	b.Emit2(asm.STS(AddrUDR0, 24))
+	b.Emit2(asm.LDS(24, AddrHBSeq))
+	b.Emit2(asm.STS(AddrUDR0, 24))
+	b.Emit(asm.INC(24))
+	b.Emit2(asm.STS(AddrHBSeq, 24))
+	b.Emit2(asm.LDS(24, AddrGyro))
+	b.Emit2(asm.STS(AddrUDR0, 24))
+	b.Emit2(asm.LDS(24, AddrHeading))
+	b.Emit2(asm.STS(AddrUDR0, 24))
+	// A full MAVLink heartbeat every HeartbeatEvery pulses, and a
+	// RAW_IMU sensor report half a period later.
+	b.Emit2(asm.LDS(24, AddrHBSeq))
+	b.Emit(asm.ANDI(24, HeartbeatEvery-1))
+	b.Emit(asm.CPI(24, 1))
+	b.BRBC(avr.FlagZ, "ml_imu")
+	g.call("mav_send_heartbeat")
+	b.Label("ml_imu")
+	b.Emit2(asm.LDS(24, AddrHBSeq))
+	b.Emit(asm.ANDI(24, HeartbeatEvery-1))
+	b.Emit(asm.CPI(24, HeartbeatEvery/2+1))
+	b.BRBC(avr.FlagZ, "ml_rx")
+	g.call("mav_send_raw_imu")
+	// Drain the receive register.
+	b.Label("ml_rx")
+	b.Emit2(asm.LDS(24, AddrUCSR0A))
+	b.Emit(asm.SBRC(24, BitRXC))
+	b.RJMP("ml_rx_byte")
+	b.RJMP("ml_work")
+	b.Label("ml_rx_byte")
+	b.Emit2(asm.LDS(24, AddrUDR0))
+	g.call("rx_byte")
+	b.RJMP("ml_rx")
+	// Flight work: sensors, navigation and one scheduler task per
+	// iteration.
+	b.Label("ml_work")
+	g.call("gyro_update")
+	g.call("nav_update")
+	g.call("sched_dispatch")
+	b.RJMP("main_loop")
+}
+
+// emitNavUpdate emits the navigation task: select the active waypoint
+// from the mission table (cycling on the ISR-driven uptime) and derive
+// the commanded heading from its coordinates. This is the "navigation
+// path" state the paper's abstract says a stealthy attacker can modify.
+func (g *generator) emitNavUpdate() {
+	b := g.b
+	wp := int(g.waypointsAddr())
+	b.Label("nav_update")
+	b.Emit2(asm.LDS(24, AddrUptime+1))
+	b.Emit(asm.ANDI(24, WaypointCount-1))
+	b.Emit2(asm.STS(AddrCurWaypoint, 24))
+	b.Emit(asm.MOV(30, 24))
+	b.Emit(asm.ADD(30, 30), asm.ADD(30, 30)) // *WaypointSize
+	b.Emit(asm.LDI(31, 0))
+	b.Emit(asm.SUBI(30, (-wp)&0xFF), asm.SBCI(31, ((-wp)>>8)&0xFF))
+	b.Emit(asm.LDDZ(24, 0)) // lat low byte
+	b.Emit(asm.LDDZ(25, 2)) // lon low byte
+	b.Emit(asm.EOR(24, 25))
+	b.Emit2(asm.STS(AddrHeading, 24))
+	b.Emit(asm.RET)
+}
+
+// emitMavTxFrame emits the shared MAVLink frame finisher: the caller
+// has assembled header + payload in the TX buffer; r22 holds the
+// payload length and r23 the message's CRC_EXTRA seed. The routine
+// computes the X.25 checksum in a register loop (the crc_accumulate
+// algorithm) and streams the finished frame to the UART.
+func (g *generator) emitMavTxFrame() {
+	b := g.b
+	b.Label("mav_tx_frame")
+	// Stage the CRC_EXTRA seed just past the payload: X = TxBuf+6+len.
+	b.Emit(asm.MOV(26, 22))
+	b.Emit(asm.LDI(27, 0))
+	b.Emit(asm.SUBI(26, (-(int(AddrTxBuf) + 6))&0xFF))
+	b.Emit(asm.SBCI(27, ((-(int(AddrTxBuf) + 6))>>8)&0xFF))
+	b.Emit(asm.STX(23))
+
+	// X.25 CRC over buf[1 .. 5+len] plus the staged seed, i.e. len+6
+	// bytes starting at TxBuf+1, into r24(lo):r25(hi).
+	b.Emit(asm.LDI(30, (AddrTxBuf+1)&0xFF), asm.LDI(31, (AddrTxBuf+1)>>8))
+	b.Emit(asm.LDI(24, 0xFF), asm.LDI(25, 0xFF))
+	b.Emit(asm.MOV(20, 22))
+	b.Emit(asm.SUBI(20, (-6)&0xFF)) // count = len + 6
+	b.Label("mtx_crc_loop")
+	b.Emit(asm.LDZInc(18))
+	b.Emit(asm.EOR(18, 24)) // tmp = b ^ lo(crc)
+	b.Emit(asm.MOV(19, 18))
+	b.Emit(asm.SWAP(19))
+	b.Emit(asm.ANDI(19, 0xF0))
+	b.Emit(asm.EOR(18, 19)) // tmp ^= tmp << 4
+	b.Emit(asm.MOV(24, 25)) // crc >>= 8
+	b.Emit(asm.MOV(25, 18)) // ^= tmp << 8
+	b.Emit(asm.MOV(21, 18)) // tmp << 3 (low byte)
+	b.Emit(asm.ADD(21, 21), asm.ADD(21, 21), asm.ADD(21, 21))
+	b.Emit(asm.MOV(19, 18)) // tmp >> 5 (high byte of tmp<<3)
+	b.Emit(asm.LSR(19), asm.LSR(19), asm.LSR(19), asm.LSR(19), asm.LSR(19))
+	b.Emit(asm.EOR(24, 21))
+	b.Emit(asm.EOR(25, 19))
+	b.Emit(asm.MOV(21, 18)) // tmp >> 4
+	b.Emit(asm.SWAP(21))
+	b.Emit(asm.ANDI(21, 0x0F))
+	b.Emit(asm.EOR(24, 21))
+	b.Emit(asm.DEC(20))
+	b.BRBC(avr.FlagZ, "mtx_crc_loop")
+	// The seed byte slot receives the checksum (X still points at it
+	// from the staging store above).
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.STX(25))
+
+	// Transmit 8+len bytes from the buffer start.
+	b.Emit(asm.LDI(30, AddrTxBuf&0xFF), asm.LDI(31, AddrTxBuf>>8))
+	b.Emit(asm.MOV(20, 22))
+	b.Emit(asm.SUBI(20, (-8)&0xFF))
+	b.Label("mtx_tx_loop")
+	b.Emit(asm.LDZInc(24))
+	b.Emit2(asm.STS(AddrUDR0, 24))
+	b.Emit(asm.DEC(20))
+	b.BRBC(avr.FlagZ, "mtx_tx_loop")
+	b.Emit(asm.RET)
+}
+
+// emitMavHeader emits the common frame-header assembly: X is left
+// pointing at the payload area and the sequence counter advances.
+func (g *generator) emitMavHeader(msgID, payloadLen int) {
+	b := g.b
+	b.Emit(asm.LDI(26, AddrTxBuf&0xFF), asm.LDI(27, AddrTxBuf>>8))
+	b.Emit(asm.LDI(24, 0xFE)) // magic
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.LDI(24, payloadLen))
+	b.Emit(asm.STXInc(24))
+	b.Emit2(asm.LDS(24, AddrMavSeq))
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.INC(24))
+	b.Emit2(asm.STS(AddrMavSeq, 24))
+	b.Emit(asm.LDI(24, 1)) // system id
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.LDI(24, 1)) // component id
+	b.Emit(asm.STXInc(24))
+	if msgID == 0 {
+		b.Emit(asm.STXInc(1)) // r1 == 0
+	} else {
+		b.Emit(asm.LDI(24, msgID))
+		b.Emit(asm.STXInc(24))
+	}
+}
+
+// emitSendHeartbeat emits a real MAVLink v1 HEARTBEAT transmitter: the
+// 17-byte frame (Fig. 2) is assembled in SRAM and finished by
+// mav_tx_frame. The ground station's liveness monitoring validates
+// these frames end to end.
+func (g *generator) emitSendHeartbeat() {
+	b := g.b
+	b.Label("mav_send_heartbeat")
+	g.emitMavHeader(0, 9)
+	// Payload: custom_mode (uptime), type, autopilot, base_mode,
+	// system_status, mavlink_version.
+	b.Emit2(asm.LDS(24, AddrUptime))
+	b.Emit(asm.STXInc(24))
+	b.Emit2(asm.LDS(24, AddrUptime+1))
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.STXInc(1), asm.STXInc(1))
+	b.Emit(asm.LDI(24, 1)) // MAV_TYPE_FIXED_WING
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.LDI(24, 3)) // MAV_AUTOPILOT_ARDUPILOTMEGA
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.STXInc(1))  // base_mode 0
+	b.Emit(asm.LDI(24, 4)) // MAV_STATE_ACTIVE
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.LDI(24, 3)) // mavlink version
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.LDI(22, 9))  // payload length
+	b.Emit(asm.LDI(23, 50)) // HEARTBEAT CRC_EXTRA
+	g.call("mav_tx_frame")
+	b.Emit(asm.RET)
+}
+
+// emitSendParamValue emits the PARAM_VALUE (id 22) echo ArduPilot sends
+// after applying a PARAM_SET: the stored value plus the parameter name
+// taken from the received packet in the global RX buffer.
+//
+// Note a stealth subtlety the paper does not discuss: the vulnerable
+// handler emits this echo before its (hijacked) return executes, so an
+// attack packet produces an echo whose name bytes are ROP-chain junk —
+// application-level evidence a semantic ground-station check could
+// flag, even though liveness monitoring sees nothing.
+func (g *generator) emitSendParamValue() {
+	b := g.b
+	b.Label("mav_send_param_value")
+	g.emitMavHeader(22, 25)
+	// param_value: the four bytes just stored.
+	for i := 0; i < 4; i++ {
+		b.Emit2(asm.LDS(24, uint16(AddrParamVal+i)))
+		b.Emit(asm.STXInc(24))
+	}
+	// param_count = 1, param_index = 0.
+	b.Emit(asm.LDI(24, 1))
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.STXInc(1))
+	b.Emit(asm.STXInc(1), asm.STXInc(1))
+	// param_id: 16 bytes from the received payload (RX buffer offset 6).
+	b.Emit(asm.LDI(30, (AddrRxBuf+6)&0xFF), asm.LDI(31, (AddrRxBuf+6)>>8))
+	b.Emit(asm.LDI(20, 16))
+	b.Label("mpv_id_loop")
+	b.Emit(asm.LDZInc(24))
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.DEC(20))
+	b.BRBC(avr.FlagZ, "mpv_id_loop")
+	// param_type: byte 22 of the received payload.
+	b.Emit2(asm.LDS(24, AddrRxBuf+22))
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.LDI(22, 25))  // payload length
+	b.Emit(asm.LDI(23, 220)) // PARAM_VALUE CRC_EXTRA
+	g.call("mav_tx_frame")
+	b.Emit(asm.RET)
+}
+
+// emitSendRawIMU emits the RAW_IMU (id 27) transmitter: the unscaled
+// 9-DOF report whose gyroscope fields carry the sensor values the
+// paper's attack falsifies.
+func (g *generator) emitSendRawIMU() {
+	b := g.b
+	b.Label("mav_send_raw_imu")
+	g.emitMavHeader(27, 26)
+	// time_usec: uptime in the low 4 of 8 bytes.
+	b.Emit2(asm.LDS(24, AddrUptime))
+	b.Emit(asm.STXInc(24))
+	b.Emit2(asm.LDS(24, AddrUptime+1))
+	b.Emit(asm.STXInc(24))
+	for i := 0; i < 6; i++ {
+		b.Emit(asm.STXInc(1))
+	}
+	// xacc/yacc/zacc: zero.
+	for i := 0; i < 6; i++ {
+		b.Emit(asm.STXInc(1))
+	}
+	// xgyro = gyro (int16), ygyro = heading, zgyro = waypoint index.
+	b.Emit2(asm.LDS(24, AddrGyro))
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.STXInc(1))
+	b.Emit2(asm.LDS(24, AddrHeading))
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.STXInc(1))
+	b.Emit2(asm.LDS(24, AddrCurWaypoint))
+	b.Emit(asm.STXInc(24))
+	b.Emit(asm.STXInc(1))
+	// xmag/ymag/zmag: zero.
+	for i := 0; i < 6; i++ {
+		b.Emit(asm.STXInc(1))
+	}
+	b.Emit(asm.LDI(22, 26))  // payload length
+	b.Emit(asm.LDI(23, 144)) // RAW_IMU CRC_EXTRA
+	g.call("mav_tx_frame")
+	b.Emit(asm.RET)
+}
+
+// emitGyroUpdate emits the sensor task: gyro = raw sample + config
+// byte. The paper's attacks target AddrGyroCfg for a continuous effect
+// on the reported attitude (§IV-C).
+func (g *generator) emitGyroUpdate() {
+	b := g.b
+	b.Label("gyro_update")
+	b.Emit2(asm.LDS(24, AddrADCL))
+	b.Emit2(asm.LDS(25, AddrGyroCfg))
+	b.Emit(asm.ADD(24, 25))
+	b.Emit2(asm.STS(AddrGyro, 24))
+	b.Emit(asm.RET)
+}
+
+// emitRxByte emits the MAVLink v1 receive state machine. One call per
+// received byte (in r24); a finished PARAM_SET frame dispatches to
+// handle_param_set. CRC bytes are consumed but not verified in the
+// firmware (verification happens ground-side); the paper's injected
+// vulnerability is the missing length check in the handler, not here.
+func (g *generator) emitRxByte() {
+	b := g.b
+	setState := func(v int) {
+		b.Emit(asm.LDI(25, v))
+		b.Emit2(asm.STS(AddrRxState, 25))
+	}
+	b.Label("rx_byte")
+	// A realistic parser frame (local packet scratch), matching the
+	// call depth under which ArduPlane's MAVLink handler runs. Without
+	// it the vulnerable handler would sit at the very top of SRAM and
+	// leave no room above the smashed frame for a V1-style chain.
+	b.Emit(asm.PUSH(29), asm.PUSH(28))
+	b.Emit(asm.IN(28, avr.IOAddrSPL), asm.IN(29, avr.IOAddrSPH))
+	b.Emit(asm.SUBI(28, RxFrameBytes), asm.SBCI(29, 0))
+	g.emitSPWrite()
+
+	b.Emit2(asm.LDS(25, AddrRxState))
+
+	b.Emit(asm.CPI(25, 0))
+	b.BRBC(avr.FlagZ, "rxs1")
+	b.Emit(asm.CPI(24, 0xFE)) // magic
+	b.BRBS(avr.FlagZ, "rxs0_magic")
+	b.RJMP("rx_ret")
+	b.Label("rxs0_magic")
+	setState(1)
+	b.RJMP("rx_ret")
+
+	b.Label("rxs1") // length byte
+	b.Emit(asm.CPI(25, 1))
+	b.BRBC(avr.FlagZ, "rxs2")
+	b.Emit2(asm.STS(AddrRxLen, 24))
+	b.Emit2(asm.STS(AddrRxIdx, 1)) // r1 == 0
+	setState(2)
+	b.RJMP("rx_ret")
+
+	b.Label("rxs2") // sequence number (ignored)
+	b.Emit(asm.CPI(25, 2))
+	b.BRBC(avr.FlagZ, "rxs3")
+	setState(3)
+	b.RJMP("rx_ret")
+
+	b.Label("rxs3") // sender system id (ignored)
+	b.Emit(asm.CPI(25, 3))
+	b.BRBC(avr.FlagZ, "rxs4")
+	setState(4)
+	b.RJMP("rx_ret")
+
+	b.Label("rxs4") // sender component id (ignored)
+	b.Emit(asm.CPI(25, 4))
+	b.BRBC(avr.FlagZ, "rxs5")
+	setState(5)
+	b.RJMP("rx_ret")
+
+	b.Label("rxs5") // message id
+	b.Emit(asm.CPI(25, 5))
+	b.BRBC(avr.FlagZ, "rxs6")
+	b.Emit2(asm.STS(AddrRxMsgID, 24))
+	b.Emit2(asm.LDS(25, AddrRxLen))
+	b.Emit(asm.CPI(25, 0))
+	b.BRBC(avr.FlagZ, "rxs5_pay")
+	setState(7) // empty payload: straight to checksum
+	b.RJMP("rx_ret")
+	b.Label("rxs5_pay")
+	setState(6)
+	b.RJMP("rx_ret")
+
+	b.Label("rxs6") // payload byte into the 256-byte global buffer
+	b.Emit(asm.CPI(25, 6))
+	b.BRBC(avr.FlagZ, "rxs7")
+	b.Emit2(asm.LDS(26, AddrRxIdx))
+	b.Emit(asm.LDI(27, AddrRxBuf>>8)) // X = AddrRxBuf | idx (low byte of AddrRxBuf is 0)
+	b.Emit(asm.STX(24))
+	b.Emit2(asm.LDS(26, AddrRxIdx))
+	b.Emit(asm.INC(26))
+	b.Emit2(asm.STS(AddrRxIdx, 26))
+	b.Emit2(asm.LDS(25, AddrRxLen))
+	b.Emit(asm.CP(26, 25))
+	b.BRBC(avr.FlagZ, "rx_ret")
+	setState(7)
+	b.RJMP("rx_ret")
+
+	b.Label("rxs7") // checksum low (consumed)
+	b.Emit(asm.CPI(25, 7))
+	b.BRBC(avr.FlagZ, "rxs8")
+	setState(8)
+	b.RJMP("rx_ret")
+
+	b.Label("rxs8") // checksum high, then dispatch
+	b.Emit(asm.CPI(25, 8))
+	b.BRBC(avr.FlagZ, "rx_reset")
+	b.Emit2(asm.STS(AddrRxState, 1))
+	b.Emit2(asm.LDS(25, AddrRxMsgID))
+	b.Emit(asm.CPI(25, 23)) // MAVLink PARAM_SET
+	b.BRBC(avr.FlagZ, "rx_ret")
+	g.call("handle_param_set")
+	b.RJMP("rx_ret")
+
+	b.Label("rx_reset")
+	b.Emit2(asm.STS(AddrRxState, 1))
+	b.Label("rx_ret")
+	b.Emit(asm.SUBI(28, (-RxFrameBytes)&0xFF), asm.SBCI(29, 0xFF))
+	g.emitSPWrite()
+	b.Emit(asm.POP(28), asm.POP(29))
+	b.Emit(asm.RET)
+}
+
+// emitHandleParamSet emits the vulnerable frame-pointer function: it
+// copies RX_LEN payload bytes from the global receive buffer into a
+// 64-byte stack buffer. With spec.Vulnerable the length check is
+// disabled (the paper's §IV-B injected bug); RX_LEN up to 255 then
+// overruns the saved registers and the 3-byte return address, exactly
+// the smashed-frame geometry of Fig. 6.
+func (g *generator) emitHandleParamSet() {
+	b := g.b
+	b.Label("handle_param_set")
+	b.Emit(asm.PUSH(29), asm.PUSH(28), asm.PUSH(17), asm.PUSH(16))
+	b.Emit(asm.IN(28, avr.IOAddrSPL), asm.IN(29, avr.IOAddrSPH))
+	// Frames over 63 bytes use the subi/sbci idiom (adiw/sbiw carry a
+	// 6-bit constant only).
+	b.Emit(asm.SUBI(28, HandlerFrameBytes), asm.SBCI(29, 0))
+	g.emitSPWrite()
+
+	if g.spec.StackCanaries {
+		// Plant the canary in the top frame byte, directly below the
+		// saved registers (§IX runtime-check ablation). The slot is
+		// beyond std's 6-bit displacement, so address it through Z.
+		b.Emit(asm.MOVW(30, 28))
+		b.Emit(asm.SUBI(30, (-HandlerFrameBytes)&0xFF), asm.SBCI(31, 0xFF))
+		b.Emit(asm.LDI(16, CanaryByte))
+		b.Emit(asm.STDZ(0, 16))
+	}
+
+	b.Emit2(asm.LDS(16, AddrRxLen))
+	if !g.spec.Vulnerable {
+		// The fixed firmware clamps the copy to the buffer size.
+		b.Emit(asm.CPI(16, HandlerBufBytes+1))
+		b.BRBS(avr.FlagC, "hps_len_ok") // branch if r16 < 65
+		b.Emit(asm.LDI(16, HandlerBufBytes))
+		b.Label("hps_len_ok")
+	}
+	b.Emit(asm.CPI(16, 0))
+	b.BRBS(avr.FlagZ, "hps_copied")
+	b.Emit(asm.LDI(26, AddrRxBuf&0xFF), asm.LDI(27, AddrRxBuf>>8))
+	b.Emit(asm.MOVW(30, 28))
+	b.Emit(asm.ADIW(30, 1))
+	b.Label("hps_loop")
+	b.Emit(asm.LDXInc(0))
+	b.Emit(asm.STZInc(0))
+	b.Emit(asm.DEC(16))
+	b.BRBC(avr.FlagZ, "hps_loop")
+	b.Label("hps_copied")
+
+	// Interpret the first four payload bytes as the parameter value.
+	for i := 0; i < 4; i++ {
+		b.Emit(asm.LDDY(16, 1+i))
+		b.Emit2(asm.STS(uint16(AddrParamVal+i), 16))
+	}
+
+	// Persist the first value byte to EEPROM configuration storage.
+	b.Emit(asm.LDI(16, EEPROMParamAddr))
+	b.Emit(asm.OUT(avr.AddrEEARL-avr.IOBase, 16))
+	b.Emit(asm.OUT(avr.AddrEEARH-avr.IOBase, 1))
+	b.Emit(asm.LDDY(16, 1))
+	b.Emit(asm.OUT(avr.AddrEEDR-avr.IOBase, 16))
+	b.Emit(asm.SBI(avr.AddrEECR-avr.IOBase, avr.BitEEMPE))
+	b.Emit(asm.SBI(avr.AddrEECR-avr.IOBase, avr.BitEEPE))
+
+	// Acknowledge with a PARAM_VALUE echo, as ArduPilot does.
+	g.call("mav_send_param_value")
+
+	if g.spec.StackCanaries {
+		// Verify the canary before trusting the saved registers and
+		// return address.
+		b.Emit(asm.MOVW(30, 28))
+		b.Emit(asm.SUBI(30, (-HandlerFrameBytes)&0xFF), asm.SBCI(31, 0xFF))
+		b.Emit(asm.LDDZ(16, 0))
+		b.Emit(asm.CPI(16, CanaryByte))
+		b.BRBS(avr.FlagZ, "hps_canary_ok")
+		b.JMP("__canary_fail")
+		b.Label("hps_canary_ok")
+	}
+
+	b.Emit(asm.SUBI(28, (-HandlerFrameBytes)&0xFF), asm.SBCI(29, 0xFF))
+	g.emitSPWrite()
+	b.Emit(asm.POP(16), asm.POP(17), asm.POP(28), asm.POP(29))
+	b.Emit(asm.RET)
+}
+
+// emitCanaryFail emits the stack-smashing handler: count the event and
+// halt. As §IX observes, canaries detect the overflow but leave the
+// program in an undefined state with no safe recovery path — which is
+// why MAVR pairs detection with master-driven re-randomization instead.
+func (g *generator) emitCanaryFail() {
+	b := g.b
+	b.Label("__canary_fail")
+	b.Emit2(asm.LDS(24, AddrCanaryFails))
+	b.Emit(asm.INC(24))
+	b.Emit2(asm.STS(AddrCanaryFails, 24))
+	b.Emit(asm.BREAK)
+}
+
+// emitSchedDispatch emits the AP_Scheduler-style dispatcher: it icalls
+// through the function-pointer table(s) in .data, rotating one task per
+// main-loop iteration. These data-resident pointers are what MAVR's
+// preprocessing must find and its randomization must patch (§VI-B2/B3).
+func (g *generator) emitSchedDispatch() {
+	b := g.b
+	b.Label("sched_dispatch")
+	b.Emit2(asm.LDS(24, AddrSchedIdx))
+	b.Emit(asm.ANDI(24, g.schedLen()-1))
+	b.Emit(asm.MOV(30, 24))
+	b.Emit(asm.ADD(30, 30)) // *2 bytes per pointer
+	b.Emit(asm.LDI(31, 0))
+	b.Emit(asm.LDI(26, AddrDataSection&0xFF), asm.LDI(27, AddrDataSection>>8))
+	b.Emit(asm.ADD(26, 30), asm.ADC(27, 31))
+	b.Emit(asm.LDXInc(30))
+	b.Emit(asm.LDX(31)) // Z = table[idx]
+	b.Emit(asm.ICALL)
+	if g.spec.DirectPointerTable {
+		// Second dispatch through the raw-address table.
+		b.Emit2(asm.LDS(24, AddrSchedIdx))
+		b.Emit(asm.ANDI(24, g.directLen()-1))
+		b.Emit(asm.MOV(30, 24))
+		b.Emit(asm.ADD(30, 30))
+		b.Emit(asm.LDI(31, 0))
+		directAddr := int(AddrDataSection) + g.schedLen()*2
+		b.Emit(asm.LDI(26, directAddr&0xFF), asm.LDI(27, directAddr>>8))
+		b.Emit(asm.ADD(26, 30), asm.ADC(27, 31))
+		b.Emit(asm.LDXInc(30))
+		b.Emit(asm.LDX(31))
+		b.Emit(asm.ICALL)
+	}
+	b.Emit2(asm.LDS(24, AddrSchedIdx))
+	b.Emit(asm.INC(24))
+	b.Emit2(asm.STS(AddrSchedIdx, 24))
+	b.Emit(asm.RET)
+}
+
+// emitStkMoveHost emits a frame-pointer function whose epilogue is
+// byte-for-byte the paper's Fig. 4 stk_move gadget:
+//
+//	out 0x3e, r29 ; out 0x3f, r0 ; out 0x3d, r28
+//	pop r28 ; pop r29 ; pop r16 ; ret
+func (g *generator) emitStkMoveHost() {
+	b := g.b
+	b.Label("AP_AHRS_update_matrix_fp")
+	b.Emit(asm.PUSH(16), asm.PUSH(29), asm.PUSH(28))
+	b.Emit(asm.IN(28, avr.IOAddrSPL), asm.IN(29, avr.IOAddrSPH))
+	b.Emit(asm.SBIW(28, 16))
+	g.emitSPWrite()
+	// Body: accumulate two scratch cells into a frame local.
+	b.Emit2(asm.LDS(16, uint16(AddrScratch)))
+	b.Emit(asm.STDY(1, 16))
+	b.Emit2(asm.LDS(16, uint16(AddrScratch+1)))
+	b.Emit(asm.STDY(2, 16))
+	b.Emit(asm.LDDY(16, 1))
+	b.Emit(asm.INC(16))
+	b.Emit2(asm.STS(uint16(AddrScratch+2), 16))
+	// Epilogue == Fig. 4 (the cli precedes the gadget window).
+	b.Emit(asm.ADIW(28, 16))
+	b.Emit(asm.IN(0, avr.IOAddrSREG))
+	b.Emit(asm.CLI)
+	b.Emit(asm.OUT(avr.IOAddrSPH, 29)) // gadget starts here (stk_move)
+	b.Emit(asm.OUT(avr.IOAddrSREG, 0))
+	b.Emit(asm.OUT(avr.IOAddrSPL, 28))
+	b.Emit(asm.POP(28), asm.POP(29), asm.POP(16))
+	b.Emit(asm.RET)
+}
+
+// emitWriteMemHost emits the function containing the paper's Fig. 5
+// write_mem_gadget: three std Y+q stores of r5..r7 followed by a
+// 16-register pop chain and ret. During normal execution Y points at
+// the scratch area (loaded from AddrWritePtr), so calling the function
+// legitimately writes three bytes to scratch and restores all
+// registers.
+func (g *generator) emitWriteMemHost() {
+	b := g.b
+	b.Label("AP_Param_save_block_fp")
+	for r := 4; r <= 17; r++ {
+		b.Emit(asm.PUSH(r))
+	}
+	b.Emit(asm.PUSH(28), asm.PUSH(29))
+	b.Emit2(asm.LDS(28, AddrWritePtr))
+	b.Emit2(asm.LDS(29, AddrWritePtr+1))
+	b.Emit2(asm.LDS(5, AddrWriteVals))
+	b.Emit2(asm.LDS(6, AddrWriteVals+1))
+	b.Emit2(asm.LDS(7, AddrWriteVals+2))
+	// The Fig. 5 gadget: stores then the pop chain.
+	b.Emit(asm.STDY(1, 5))
+	b.Emit(asm.STDY(2, 6))
+	b.Emit(asm.STDY(3, 7))
+	b.Emit(asm.POP(29), asm.POP(28))
+	for r := 17; r >= 4; r-- {
+		b.Emit(asm.POP(r))
+	}
+	b.Emit(asm.RET)
+}
+
+// prologueBlockName and epilogueBlockName name the ModeStock shared
+// register save/restore blocks (GCC's -mcall-prologues machinery).
+// Functions enter __prologue_saves_K with the return point in Z (loaded
+// via LDI pairs — the unpatchable encoding the paper disables) and
+// share __epilogue_restores_K as their pop/ret tail.
+func prologueBlockName(k int) string { return "__prologue_saves_" + string(rune('0'+k)) }
+func epilogueBlockName(k int) string { return "__epilogue_restores_" + string(rune('0'+k)) }
+
+// savedRegs returns the callee-saved registers a K-register function
+// preserves, in push order.
+func savedRegs(k int) []int {
+	all := []int{28, 29, 17, 16, 15, 14}
+	return all[:k]
+}

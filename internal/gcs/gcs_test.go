@@ -1,0 +1,434 @@
+package gcs_test
+
+import (
+	"testing"
+	"time"
+
+	"mavr/internal/attack"
+	"mavr/internal/board"
+	"mavr/internal/firmware"
+	"mavr/internal/gcs"
+	"mavr/internal/mavlink"
+)
+
+const silenceThreshold = 200 * time.Millisecond
+
+func testImage(t *testing.T) *firmware.Image {
+	t.Helper()
+	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func unprotectedStation(t *testing.T, img *firmware.Image) *gcs.GroundStation {
+	t.Helper()
+	sys := board.NewSystem(board.SystemConfig{Unprotected: true})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return gcs.NewGroundStation(sys)
+}
+
+func fly(t *testing.T, g *gcs.GroundStation, d time.Duration) {
+	t.Helper()
+	step := 10 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < d; elapsed += step {
+		if err := g.Step(step); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBenignFlightLooksClean(t *testing.T) {
+	img := testImage(t)
+	g := unprotectedStation(t, img)
+	g.SetParam("RATE_RLL_P", 2.0)
+	fly(t, g, 500*time.Millisecond)
+	if g.Mon.Pulses < 10 {
+		t.Fatalf("only %d pulses", g.Mon.Pulses)
+	}
+	if g.Mon.CompromiseDetected(silenceThreshold) {
+		t.Errorf("false positive: garbage=%d gaps=%d silence=%v",
+			g.Mon.Garbage, g.Mon.SeqGaps, g.Mon.MaxSilence)
+	}
+}
+
+// The headline stealth result: a V2 attack corrupts the gyroscope
+// configuration while the ground station observes nothing abnormal.
+func TestStealthyAttackIsInvisibleToGCS(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildV2(a, attack.GyroCfgWrite(0x40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := unprotectedStation(t, img)
+	fly(t, g, 200*time.Millisecond)
+
+	g.SendFrame(attack.Frame(payload))
+	fly(t, g, 500*time.Millisecond)
+
+	if got := g.Sys.App.CPU.Data[firmware.AddrGyroCfg]; got != 0x40 {
+		t.Fatalf("gyro config = 0x%02X, attack did not land", got)
+	}
+	if g.Mon.CompromiseDetected(silenceThreshold) {
+		t.Errorf("stealthy attack detected: garbage=%d gaps=%d silence=%v",
+			g.Mon.Garbage, g.Mon.SeqGaps, g.Mon.MaxSilence)
+	}
+	// The corrupted sensor value propagates into telemetry (raw 10 + 0x40).
+	if g.Mon.LastGyro != 10+0x40 {
+		t.Errorf("reported gyro = %d, want %d", g.Mon.LastGyro, 10+0x40)
+	}
+}
+
+// The paper's abstract: a stealthy attacker can "modify the UAV
+// navigation path". Overwrite the active waypoint's coordinates via a
+// V2 chain: the commanded heading changes, the heartbeats stay valid
+// and active, and the ground station detects nothing.
+func TestStealthyNavigationPathChange(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := unprotectedStation(t, img)
+	fly(t, g, 300*time.Millisecond)
+	origHeading := g.Mon.LastHeading
+
+	// Rewrite waypoint 0's latitude low byte (and neighbours) so the
+	// derived heading flips.
+	wp := img.Layout.WaypointsAddr
+	newLat := origHeading ^ 0xFF // guarantees a different lat^lon
+	payload, err := attack.BuildV2(a, attack.Write{Addr: wp, Vals: [3]byte{newLat, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SendFrame(attack.Frame(payload))
+	fly(t, g, 500*time.Millisecond)
+
+	if g.Mon.LastHeading == origHeading {
+		t.Error("heading unchanged — navigation path not modified")
+	}
+	if g.Mon.CompromiseDetected(silenceThreshold) {
+		t.Errorf("navigation attack detected: garbage=%d gaps=%d hbErr=%d silence=%v",
+			g.Mon.Garbage, g.Mon.SeqGaps, g.Mon.HeartbeatErrors, g.Mon.MaxSilence)
+	}
+	if g.Mon.Heartbeats == 0 || g.Mon.LastStatus != mavlink.StateActive {
+		t.Errorf("heartbeats=%d status=%d after attack", g.Mon.Heartbeats, g.Mon.LastStatus)
+	}
+}
+
+// V1 (the non-stealthy variant) kills the board; the ground station
+// sees the telemetry stop — exactly the detectability the paper's V2
+// removes.
+func TestV1AttackIsDetectedByGCS(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildV1(a, attack.GyroCfgWrite(0x40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := unprotectedStation(t, img)
+	fly(t, g, 200*time.Millisecond)
+	g.SendFrame(attack.Frame(payload))
+	fly(t, g, 800*time.Millisecond)
+
+	if !g.Mon.CompromiseDetected(silenceThreshold) {
+		t.Errorf("V1 crash not detected: garbage=%d gaps=%d silence=%v pulses=%d",
+			g.Mon.Garbage, g.Mon.SeqGaps, g.Mon.MaxSilence, g.Mon.Pulses)
+	}
+}
+
+// On a MAVR board the stale attack fails; the master reflashes and the
+// vehicle recovers in-flight (§V-D safe recovery).
+func TestMAVRBoardRecoversUnderAttack(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildV2(a, attack.GyroCfgWrite(0x40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{
+		Seed:            4,
+		WatchdogTimeout: 20 * time.Millisecond,
+	}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	g := gcs.NewGroundStation(sys)
+	fly(t, g, 100*time.Millisecond)
+	g.SendFrame(attack.Frame(payload))
+	fly(t, g, 4*time.Second)
+
+	if sys.Master.Stats().FailuresDetected == 0 {
+		t.Fatal("master never detected the failed attack")
+	}
+	if got := sys.App.CPU.Data[firmware.AddrGyroCfg]; got == 0x40 {
+		t.Error("attack landed despite randomization")
+	}
+	// Post-recovery telemetry must flow again.
+	before := g.Mon.Pulses
+	fly(t, g, 200*time.Millisecond)
+	if g.Mon.Pulses <= before {
+		t.Error("no telemetry after recovery")
+	}
+}
+
+func TestMonitorCountsGarbageAndGaps(t *testing.T) {
+	var m gcs.Monitor
+	m.Feed([]byte{firmware.PulseMagic, 1, 10, 0}, 0)
+	m.Feed([]byte{firmware.PulseMagic, 2, 10, 0}, time.Millisecond)
+	m.Feed([]byte{firmware.PulseMagic, 7, 10, 0}, 2*time.Millisecond) // gap
+	m.Feed([]byte{0xEE, 0xEE, 0xEE}, 3*time.Millisecond)              // garbage
+	m.Feed(nil, 500*time.Millisecond)                                 // silence
+	if m.Pulses != 3 {
+		t.Errorf("pulses = %d, want 3", m.Pulses)
+	}
+	if m.SeqGaps != 1 {
+		t.Errorf("gaps = %d, want 1", m.SeqGaps)
+	}
+	if m.Garbage == 0 {
+		t.Error("garbage not counted")
+	}
+	if m.MaxSilence < 400*time.Millisecond {
+		t.Errorf("silence = %v", m.MaxSilence)
+	}
+	if !m.CompromiseDetected(silenceThreshold) {
+		t.Error("obvious anomalies not flagged")
+	}
+}
+
+// The monitor demuxes interleaved pulses and MAVLink heartbeats.
+func TestMonitorDemuxesHeartbeats(t *testing.T) {
+	var m gcs.Monitor
+	hb := &mavlink.Heartbeat{Type: 1, Autopilot: 3, SystemStatus: mavlink.StateActive, MavlinkVersion: 3}
+	fr := &mavlink.Frame{MsgID: mavlink.MsgIDHeartbeat, SysID: 1, CompID: 1, Payload: hb.Marshal()}
+	wire, err := fr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []byte
+	stream = append(stream, firmware.PulseMagic, 0, 10, 7)
+	stream = append(stream, wire...)
+	stream = append(stream, firmware.PulseMagic, 1, 10, 7)
+	m.Feed(stream, time.Millisecond)
+	if m.Pulses != 2 || m.SeqGaps != 0 {
+		t.Errorf("pulses=%d gaps=%d", m.Pulses, m.SeqGaps)
+	}
+	if m.Heartbeats != 1 || m.HeartbeatErrors != 0 {
+		t.Errorf("heartbeats=%d errors=%d", m.Heartbeats, m.HeartbeatErrors)
+	}
+	if m.LastStatus != mavlink.StateActive || m.LastHeading != 7 {
+		t.Errorf("status=%d heading=%d", m.LastStatus, m.LastHeading)
+	}
+	if m.CompromiseDetected(silenceThreshold) {
+		t.Error("clean interleaved stream flagged")
+	}
+}
+
+// A corrupt heartbeat (checksum failure) is an anomaly.
+func TestMonitorFlagsCorruptHeartbeat(t *testing.T) {
+	var m gcs.Monitor
+	hb := &mavlink.Heartbeat{SystemStatus: mavlink.StateActive}
+	fr := &mavlink.Frame{MsgID: mavlink.MsgIDHeartbeat, Payload: hb.Marshal()}
+	wire, err := fr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire[10] ^= 0xFF
+	m.Feed(wire, time.Millisecond)
+	if m.HeartbeatErrors != 1 {
+		t.Errorf("heartbeat errors = %d, want 1", m.HeartbeatErrors)
+	}
+	if !m.CompromiseDetected(silenceThreshold) {
+		t.Error("corrupt heartbeat not flagged")
+	}
+}
+
+// The RAW_IMU stream (the paper's gyroscope sensor channel) reports the
+// falsified values after a stealthy attack, with every frame still
+// checksum-valid — the ground station has no way to tell the data is
+// attacker-chosen.
+func TestRawIMUCarriesFalsifiedGyro(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildV2(a, attack.GyroCfgWrite(0x60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := unprotectedStation(t, img)
+	fly(t, g, 300*time.Millisecond)
+	if g.Mon.RawIMUs == 0 {
+		t.Fatal("no RAW_IMU frames before the attack")
+	}
+	if g.Mon.LastXgyro != 10 {
+		t.Fatalf("pre-attack xgyro = %d, want 10", g.Mon.LastXgyro)
+	}
+	g.SendFrame(attack.Frame(payload))
+	fly(t, g, 400*time.Millisecond)
+	if g.Mon.LastXgyro != 10+0x60 {
+		t.Errorf("post-attack xgyro = %d, want %d", g.Mon.LastXgyro, 10+0x60)
+	}
+	if g.Mon.HeartbeatErrors != 0 || g.Mon.CompromiseDetected(silenceThreshold) {
+		t.Errorf("stealth broken: hbErr=%d detected=%v",
+			g.Mon.HeartbeatErrors, g.Mon.CompromiseDetected(silenceThreshold))
+	}
+}
+
+// The firmware acknowledges every PARAM_SET with a PARAM_VALUE echo,
+// closing the GCS parameter protocol loop.
+func TestParamValueEcho(t *testing.T) {
+	img := testImage(t)
+	g := unprotectedStation(t, img)
+	g.SetParam("RATE_RLL_P", 0) // value bytes are zero; the echo's id matters
+	fly(t, g, 300*time.Millisecond)
+	if g.Mon.ParamEchoes == 0 {
+		t.Fatal("no PARAM_VALUE echo")
+	}
+	if g.Mon.LastEcho.ParamID != "RATE_RLL_P" {
+		t.Errorf("echoed id %q, want RATE_RLL_P", g.Mon.LastEcho.ParamID)
+	}
+	if g.Mon.LastEcho.ParamCount != 1 {
+		t.Errorf("echoed count %d", g.Mon.LastEcho.ParamCount)
+	}
+}
+
+// A stealth nuance the paper does not discuss: the hijacked handler
+// still emits the PARAM_VALUE echo before the ROP chain takes over, so
+// the attack packet is acknowledged with chain junk in the name field.
+// Liveness monitoring stays silent, but a semantic ground-station check
+// matching echoes to requests would have something to see.
+func TestAttackPacketProducesGarbledEcho(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildV2(a, attack.GyroCfgWrite(0x44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := unprotectedStation(t, img)
+	fly(t, g, 200*time.Millisecond)
+	echoesBefore := g.Mon.ParamEchoes
+	g.SendFrame(attack.Frame(payload))
+	fly(t, g, 400*time.Millisecond)
+	if g.Mon.ParamEchoes != echoesBefore+1 {
+		t.Fatalf("attack packet produced %d echoes", g.Mon.ParamEchoes-echoesBefore)
+	}
+	if g.Mon.LastEcho.ParamID == "RATE_RLL_P" {
+		t.Error("echo looks legitimate — expected chain junk in the name")
+	}
+	// Liveness rules still see nothing.
+	if g.Mon.CompromiseDetected(silenceThreshold) {
+		t.Error("liveness monitoring flagged the attack")
+	}
+}
+
+// The parameter client's request/acknowledge/retry protocol works
+// against the live firmware on both plain and MAVR boards.
+func TestParamClientSetAndAck(t *testing.T) {
+	img := testImage(t)
+	g := unprotectedStation(t, img)
+	fly(t, g, 50*time.Millisecond)
+	c := gcs.NewParamClient(g)
+	echo, err := c.Set("RATE_PIT_P", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.ParamID != "RATE_PIT_P" {
+		t.Errorf("acked id %q", echo.ParamID)
+	}
+
+	// And on a randomized board.
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{Seed: 2}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := gcs.NewGroundStation(sys)
+	fly(t, g2, 50*time.Millisecond)
+	if _, err := gcs.NewParamClient(g2).Set("RATE_YAW_P", 0); err != nil {
+		t.Fatalf("param write on MAVR board: %v", err)
+	}
+}
+
+// The client times out against a dead vehicle.
+func TestParamClientTimeout(t *testing.T) {
+	img := testImage(t)
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{Seed: 1}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	// Never booted: the application processor was never programmed and
+	// spins through empty flash.
+	g := gcs.NewGroundStation(sys)
+	c := gcs.NewParamClient(g)
+	c.Timeout = 50 * time.Millisecond
+	c.Retries = 1
+	if _, err := c.Set("X", 1); err == nil {
+		t.Fatal("ack from a dead vehicle")
+	}
+}
+
+// V3 staging interleaved with benign parameter traffic: the attack
+// stays stealthy under normal operational load.
+func TestV3StagingInterleavedWithBenignTraffic(t *testing.T) {
+	img := testImage(t)
+	a, err := attack.Analyze(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var big []attack.Write
+	for i := 0; i < 4; i++ {
+		big = append(big, attack.Write{Addr: 0x1900 + uint16(3*i), Vals: [3]byte{1, 2, byte(i)}})
+	}
+	packets, err := attack.BuildV3(a, big, firmware.AddrFreeMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := unprotectedStation(t, img)
+	client := gcs.NewParamClient(g)
+	for i, p := range packets {
+		g.SendFrame(attack.Frame(p))
+		fly(t, g, 30*time.Millisecond)
+		if i%4 == 0 { // benign traffic between staging packets
+			if _, err := client.Set("RATE_RLL_P", 0); err != nil {
+				t.Fatalf("benign param write failed mid-staging: %v", err)
+			}
+		}
+	}
+	fly(t, g, 200*time.Millisecond)
+	for i, w := range big {
+		for j := 0; j < 3; j++ {
+			if got := g.Sys.App.CPU.Data[int(w.Addr)+j]; got != w.Vals[j] {
+				t.Errorf("staged write %d byte %d = 0x%02X", i, j, got)
+			}
+		}
+	}
+	if g.Mon.CompromiseDetected(silenceThreshold) {
+		t.Error("interleaved staging detected")
+	}
+}

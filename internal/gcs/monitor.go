@@ -1,0 +1,174 @@
+package gcs
+
+import (
+	"time"
+
+	"mavr/internal/firmware"
+	"mavr/internal/mavlink"
+)
+
+// Monitor watches the UAV's downlink, which interleaves two streams:
+// fast telemetry pulses ([magic, seq, gyro, heading]) and periodic full
+// MAVLink HEARTBEAT frames. It records the anomalies a ground station
+// would alarm on — exactly what the paper's stealthy attack must avoid
+// tripping.
+type Monitor struct {
+	// Pulses is the count of well-formed pulses seen.
+	Pulses int
+	// SeqGaps counts discontinuities in the pulse sequence number.
+	SeqGaps int
+	// Garbage counts bytes that fit neither stream.
+	Garbage int
+	// MaxSilence is the longest observed downlink gap.
+	MaxSilence time.Duration
+	// LastGyro is the most recent reported gyro value.
+	LastGyro byte
+	// LastHeading is the most recent commanded heading.
+	LastHeading byte
+
+	// Heartbeats counts checksum-valid MAVLink HEARTBEAT frames.
+	Heartbeats int
+	// HeartbeatErrors counts frames that failed checksum validation.
+	HeartbeatErrors int
+	// LastStatus is the last reported MAV_STATE.
+	LastStatus byte
+	// RawIMUs counts checksum-valid RAW_IMU frames.
+	RawIMUs int
+	// LastXgyro is the most recent RAW_IMU x-gyro reading — the sensor
+	// channel the paper's attack falsifies.
+	LastXgyro int16
+	// ParamEchoes counts PARAM_VALUE acknowledgements.
+	ParamEchoes int
+	// LastEcho is the most recent parameter acknowledgement.
+	LastEcho *mavlink.ParamValue
+
+	started   bool
+	expectSeq byte
+	sawData   bool
+	lastData  time.Duration
+
+	mode    monMode
+	pulse   []byte
+	frame   mavlink.Parser
+	frameN  int
+	frameLn int
+}
+
+type monMode int
+
+const (
+	monIdle monMode = iota
+	monPulse
+	monFrame
+)
+
+// Feed consumes downlink bytes received up to simulated time now. Call
+// it regularly (even with no data) so silence is measured.
+func (m *Monitor) Feed(data []byte, now time.Duration) {
+	if m.sawData {
+		if gap := now - m.lastData; gap > m.MaxSilence {
+			m.MaxSilence = gap
+		}
+	}
+	if len(data) > 0 {
+		m.sawData = true
+		m.lastData = now
+	}
+	for _, b := range data {
+		m.feedByte(b)
+	}
+}
+
+func (m *Monitor) feedByte(b byte) {
+	switch m.mode {
+	case monIdle:
+		switch b {
+		case firmware.PulseMagic:
+			m.mode = monPulse
+			m.pulse = m.pulse[:0]
+		case mavlink.Magic:
+			m.mode = monFrame
+			m.frame = mavlink.Parser{StrictLength: true}
+			m.frame.Feed(b)
+			m.frameN = 1
+			m.frameLn = -1
+		default:
+			m.Garbage++
+		}
+
+	case monPulse:
+		m.pulse = append(m.pulse, b)
+		if len(m.pulse) == firmware.PulseSize-1 {
+			seq, gyro, heading := m.pulse[0], m.pulse[1], m.pulse[2]
+			if m.started && seq != m.expectSeq {
+				m.SeqGaps++
+			}
+			m.started = true
+			m.expectSeq = seq + 1
+			m.LastGyro = gyro
+			m.LastHeading = heading
+			m.Pulses++
+			m.mode = monIdle
+		}
+
+	case monFrame:
+		f := m.frame.Feed(b)
+		m.frameN++
+		if m.frameN == 2 {
+			m.frameLn = 6 + int(b) + 2
+		}
+		if f != nil {
+			m.handleFrame(f)
+			m.mode = monIdle
+			return
+		}
+		if m.frameLn > 0 && m.frameN >= m.frameLn {
+			// Frame fully consumed but rejected (checksum/length).
+			m.HeartbeatErrors++
+			m.mode = monIdle
+		}
+	}
+}
+
+func (m *Monitor) handleFrame(f *mavlink.Frame) {
+	switch f.MsgID {
+	case mavlink.MsgIDHeartbeat:
+		hb, err := mavlink.UnmarshalHeartbeat(f.Payload)
+		if err != nil {
+			m.HeartbeatErrors++
+			return
+		}
+		m.Heartbeats++
+		m.LastStatus = hb.SystemStatus
+	case mavlink.MsgIDRawIMU:
+		imu, err := mavlink.UnmarshalRawIMU(f.Payload)
+		if err != nil {
+			m.HeartbeatErrors++
+			return
+		}
+		m.RawIMUs++
+		m.LastXgyro = imu.Xgyro
+	case mavlink.MsgIDParamValue:
+		pv, err := mavlink.UnmarshalParamValue(f.Payload)
+		if err != nil {
+			m.HeartbeatErrors++
+			return
+		}
+		m.ParamEchoes++
+		m.LastEcho = pv
+	}
+}
+
+// CompromiseDetected applies the ground station's detection rule: any
+// garbage or corrupt heartbeat on the link, a pulse sequence
+// discontinuity, a non-active MAV_STATE, or silence longer than the
+// threshold.
+func (m *Monitor) CompromiseDetected(silenceThreshold time.Duration) bool {
+	if m.Garbage > 0 || m.SeqGaps > 0 || m.HeartbeatErrors > 0 {
+		return true
+	}
+	if m.Heartbeats > 0 && m.LastStatus != mavlink.StateActive {
+		return true
+	}
+	return m.MaxSilence > silenceThreshold
+}

@@ -1,0 +1,212 @@
+// Package hexfile implements the Intel HEX format used to ship AVR
+// firmware images to flash programmers such as avrdude. The MAVR
+// toolchain converts ELF binaries to HEX, prepends symbol information
+// (see internal/core) and uploads the result to the external flash chip.
+package hexfile
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Record types defined by the Intel HEX specification.
+const (
+	recData          = 0x00
+	recEOF           = 0x01
+	recExtSegment    = 0x02
+	recStartSegment  = 0x03
+	recExtLinear     = 0x04
+	recStartLinear   = 0x05
+	defaultRowLength = 16
+)
+
+// Common decode errors.
+var (
+	ErrBadChecksum = errors.New("hexfile: checksum mismatch")
+	ErrNoEOF       = errors.New("hexfile: missing EOF record")
+)
+
+// Image is a contiguous firmware image starting at byte address 0.
+// Gaps between records are filled with 0xFF (erased flash).
+type Image struct {
+	Data []byte
+}
+
+// Encode renders the image as Intel HEX with 16-byte data records,
+// emitting type-04 extended linear address records when crossing 64KB
+// boundaries (the ATmega2560's 256KB flash requires them).
+func Encode(w io.Writer, data []byte) error {
+	bw := bufio.NewWriter(w)
+	lastHigh := uint32(0xFFFFFFFF)
+	for off := 0; off < len(data); off += defaultRowLength {
+		end := off + defaultRowLength
+		if end > len(data) {
+			end = len(data)
+		}
+		row := data[off:end]
+		high := uint32(off) >> 16
+		if high != lastHigh {
+			if err := writeRecord(bw, 0, recExtLinear, []byte{byte(high >> 8), byte(high)}); err != nil {
+				return err
+			}
+			lastHigh = high
+		}
+		if err := writeRecord(bw, uint16(off), recData, row); err != nil {
+			return err
+		}
+	}
+	if err := writeRecord(bw, 0, recEOF, nil); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// EncodeToString renders data as an Intel HEX string.
+func EncodeToString(data []byte) (string, error) {
+	var sb strings.Builder
+	if err := Encode(&sb, data); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func writeRecord(w io.Writer, addr uint16, typ byte, data []byte) error {
+	sum := byte(len(data)) + byte(addr>>8) + byte(addr) + typ
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ":%02X%04X%02X", len(data), addr, typ)
+	for _, b := range data {
+		fmt.Fprintf(&sb, "%02X", b)
+		sum += b
+	}
+	fmt.Fprintf(&sb, "%02X\n", byte(-int8(sum)))
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Decode parses Intel HEX text into a flat image. Unwritten bytes below
+// the highest written address read as 0xFF.
+func Decode(r io.Reader) ([]byte, error) {
+	type chunk struct {
+		addr uint32
+		data []byte
+	}
+	var (
+		chunks  []chunk
+		base    uint32
+		sawEOF  bool
+		scanner = bufio.NewScanner(r)
+	)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, ":") {
+			return nil, fmt.Errorf("hexfile: line %d: missing ':' start code", lineNo)
+		}
+		raw, err := parseHexBytes(line[1:])
+		if err != nil {
+			return nil, fmt.Errorf("hexfile: line %d: %w", lineNo, err)
+		}
+		if len(raw) < 5 {
+			return nil, fmt.Errorf("hexfile: line %d: record too short", lineNo)
+		}
+		count := int(raw[0])
+		if len(raw) != 5+count {
+			return nil, fmt.Errorf("hexfile: line %d: length mismatch", lineNo)
+		}
+		var sum byte
+		for _, b := range raw {
+			sum += b
+		}
+		if sum != 0 {
+			return nil, fmt.Errorf("line %d: %w", lineNo, ErrBadChecksum)
+		}
+		addr := uint16(raw[1])<<8 | uint16(raw[2])
+		typ := raw[3]
+		payload := raw[4 : 4+count]
+		switch typ {
+		case recData:
+			c := chunk{addr: base + uint32(addr), data: make([]byte, count)}
+			copy(c.data, payload)
+			chunks = append(chunks, c)
+		case recEOF:
+			sawEOF = true
+		case recExtLinear:
+			if count != 2 {
+				return nil, fmt.Errorf("hexfile: line %d: bad extended linear record", lineNo)
+			}
+			base = uint32(payload[0])<<24 | uint32(payload[1])<<16
+		case recExtSegment:
+			if count != 2 {
+				return nil, fmt.Errorf("hexfile: line %d: bad extended segment record", lineNo)
+			}
+			base = (uint32(payload[0])<<8 | uint32(payload[1])) << 4
+		case recStartSegment, recStartLinear:
+			// Entry-point records carry no data; ignored.
+		default:
+			return nil, fmt.Errorf("hexfile: line %d: unknown record type 0x%02X", lineNo, typ)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if !sawEOF {
+		return nil, ErrNoEOF
+	}
+	var max uint32
+	for _, c := range chunks {
+		if end := c.addr + uint32(len(c.data)); end > max {
+			max = end
+		}
+	}
+	out := make([]byte, max)
+	for i := range out {
+		out[i] = 0xFF
+	}
+	sort.SliceStable(chunks, func(i, j int) bool { return chunks[i].addr < chunks[j].addr })
+	for _, c := range chunks {
+		copy(out[c.addr:], c.data)
+	}
+	return out, nil
+}
+
+// DecodeString parses an Intel HEX string.
+func DecodeString(s string) ([]byte, error) {
+	return Decode(strings.NewReader(s))
+}
+
+func parseHexBytes(s string) ([]byte, error) {
+	if len(s)%2 != 0 {
+		return nil, errors.New("odd hex digit count")
+	}
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(s); i += 2 {
+		hi, ok1 := hexDigit(s[i])
+		lo, ok2 := hexDigit(s[i+1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("bad hex digits %q", s[i:i+2])
+		}
+		out[i/2] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+func hexDigit(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,180 @@
+package hexfile_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mavr/internal/hexfile"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	s, err := hexfile.EncodeToString(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hexfile.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+}
+
+// Images larger than 64KB require type-04 extended linear address
+// records (the ATmega2560 has 256KB flash).
+func TestEncodeLargeImageUsesExtendedRecords(t *testing.T) {
+	data := make([]byte, 200*1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	s, err := hexfile.EncodeToString(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, ":02000004") {
+		t.Error("no extended linear address records in 200KB image")
+	}
+	got, err := hexfile.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("large image round trip mismatch")
+	}
+}
+
+func TestDecodeRejectsBadChecksum(t *testing.T) {
+	s := ":0100000041BD\n:00000001FF\n" // checksum should be BE
+	_, err := hexfile.DecodeString(s)
+	if !errors.Is(err, hexfile.ErrBadChecksum) {
+		t.Errorf("want ErrBadChecksum, got %v", err)
+	}
+}
+
+func TestDecodeRejectsMissingEOF(t *testing.T) {
+	s := ":0100000041BE\n"
+	_, err := hexfile.DecodeString(s)
+	if !errors.Is(err, hexfile.ErrNoEOF) {
+		t.Errorf("want ErrNoEOF, got %v", err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"hello\n",
+		":zz000000FF\n",
+		":01000000\n",           // truncated
+		":020000040001F9\nxx\n", // garbage second line
+	} {
+		if _, err := hexfile.DecodeString(s); err == nil {
+			t.Errorf("no error for %q", s)
+		}
+	}
+}
+
+func TestDecodeFillsGapsWithErasedFlash(t *testing.T) {
+	// One byte at 0, one byte at 0x10.
+	var sb strings.Builder
+	sb.WriteString(":0100000041BE\n")
+	sb.WriteString(":0100100042AD\n")
+	sb.WriteString(":00000001FF\n")
+	got, err := hexfile.DecodeString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0x11 {
+		t.Fatalf("len = %d, want 0x11", len(got))
+	}
+	if got[0] != 0x41 || got[0x10] != 0x42 {
+		t.Error("data bytes misplaced")
+	}
+	for i := 1; i < 0x10; i++ {
+		if got[i] != 0xFF {
+			t.Errorf("gap byte %d = 0x%02X, want 0xFF", i, got[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		s, err := hexfile.EncodeToString(data)
+		if err != nil {
+			return false
+		}
+		got, err := hexfile.DecodeString(s)
+		if err != nil {
+			return false
+		}
+		if len(data) == 0 {
+			return len(got) == 0
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// Sizes spanning the 64KB boundary.
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{65535, 65536, 65537, 131072} {
+		data := make([]byte, n)
+		rng.Read(data)
+		if !f(data) {
+			t.Errorf("round trip failed at size %d", n)
+		}
+	}
+}
+
+func TestDecodeExtendedSegmentRecords(t *testing.T) {
+	// Type-02 records set a 16-byte-paragraph base: 0x1000 -> 0x10000.
+	s := ":020000021000EC\n:0100000041BE\n:00000001FF\n"
+	got, err := hexfile.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0x10001 {
+		t.Fatalf("len = 0x%X, want 0x10001", len(got))
+	}
+	if got[0x10000] != 0x41 {
+		t.Errorf("byte at segment base = 0x%02X", got[0x10000])
+	}
+}
+
+func TestDecodeIgnoresStartAddressRecords(t *testing.T) {
+	s := ":0400000500000100F6\n:0100000041BE\n:00000001FF\n"
+	got, err := hexfile.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 0x41 {
+		t.Errorf("data mangled: % X", got)
+	}
+}
+
+func TestDecodeEmptyImage(t *testing.T) {
+	got, err := hexfile.DecodeString(":00000001FF\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty image decoded to %d bytes", len(got))
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	s, err := hexfile.EncodeToString(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != ":00000001FF\n" {
+		t.Errorf("empty image encodes to %q", s)
+	}
+}

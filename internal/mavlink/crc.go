@@ -1,0 +1,31 @@
+// Package mavlink implements the MAVLink v1.0 wire protocol used
+// between a UAV autopilot and its ground station (paper §II-C, Fig. 2).
+// A packet is a 6-byte header (magic, length, sequence, system id,
+// component id, message id), a payload of up to 255 bytes and a 2-byte
+// X.25 checksum seeded with a per-message CRC_EXTRA byte.
+//
+// The package provides both a conformant parser and the deliberately
+// length-unchecked decoding mode the paper injects into the ArduPlane
+// firmware to create the buffer-overflow entry point for its ROP
+// attacks (§IV-B).
+package mavlink
+
+// X25InitCRC is the initial value of the X.25 checksum.
+const X25InitCRC uint16 = 0xFFFF
+
+// CRCAccumulate folds one byte into the X.25 CRC (the MAVLink
+// crc_calculate algorithm).
+func CRCAccumulate(b byte, crc uint16) uint16 {
+	tmp := b ^ byte(crc&0xFF)
+	tmp ^= tmp << 4
+	return (crc >> 8) ^ uint16(tmp)<<8 ^ uint16(tmp)<<3 ^ uint16(tmp)>>4
+}
+
+// CRC computes the X.25 checksum of data starting from X25InitCRC.
+func CRC(data []byte) uint16 {
+	crc := X25InitCRC
+	for _, b := range data {
+		crc = CRCAccumulate(b, crc)
+	}
+	return crc
+}

@@ -1,0 +1,154 @@
+package mavlink
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Heartbeat is the MAVLink HEARTBEAT message (id 0), broadcast by the
+// autopilot about once per second. The ground station's liveness
+// monitoring — what a stealthy attack must not disturb — is built on it.
+type Heartbeat struct {
+	CustomMode     uint32
+	Type           byte
+	Autopilot      byte
+	BaseMode       byte
+	SystemStatus   byte
+	MavlinkVersion byte
+}
+
+// MAV_STATE values used by the simulation.
+const (
+	StateActive   = 4
+	StateCritical = 5
+)
+
+// Marshal encodes the heartbeat payload.
+func (h *Heartbeat) Marshal() []byte {
+	out := make([]byte, 9)
+	binary.LittleEndian.PutUint32(out, h.CustomMode)
+	out[4] = h.Type
+	out[5] = h.Autopilot
+	out[6] = h.BaseMode
+	out[7] = h.SystemStatus
+	out[8] = h.MavlinkVersion
+	return out
+}
+
+// UnmarshalHeartbeat decodes a HEARTBEAT payload.
+func UnmarshalHeartbeat(p []byte) (*Heartbeat, error) {
+	if len(p) < 9 {
+		return nil, fmt.Errorf("mavlink: heartbeat payload %d bytes, want 9", len(p))
+	}
+	return &Heartbeat{
+		CustomMode:     binary.LittleEndian.Uint32(p),
+		Type:           p[4],
+		Autopilot:      p[5],
+		BaseMode:       p[6],
+		SystemStatus:   p[7],
+		MavlinkVersion: p[8],
+	}, nil
+}
+
+// Attitude is the ATTITUDE message (id 30): the UAV's roll/pitch/yaw
+// state computed from the gyroscope — the sensor the paper's attack V1
+// corrupts.
+type Attitude struct {
+	TimeBootMs                      uint32
+	Roll, Pitch, Yaw                float32
+	RollSpeed, PitchSpeed, YawSpeed float32
+}
+
+// Marshal encodes the attitude payload.
+func (a *Attitude) Marshal() []byte {
+	out := make([]byte, 28)
+	binary.LittleEndian.PutUint32(out, a.TimeBootMs)
+	for i, f := range []float32{a.Roll, a.Pitch, a.Yaw, a.RollSpeed, a.PitchSpeed, a.YawSpeed} {
+		binary.LittleEndian.PutUint32(out[4+i*4:], math.Float32bits(f))
+	}
+	return out
+}
+
+// UnmarshalAttitude decodes an ATTITUDE payload.
+func UnmarshalAttitude(p []byte) (*Attitude, error) {
+	if len(p) < 28 {
+		return nil, fmt.Errorf("mavlink: attitude payload %d bytes, want 28", len(p))
+	}
+	f := func(off int) float32 {
+		return math.Float32frombits(binary.LittleEndian.Uint32(p[off:]))
+	}
+	return &Attitude{
+		TimeBootMs: binary.LittleEndian.Uint32(p),
+		Roll:       f(4), Pitch: f(8), Yaw: f(12),
+		RollSpeed: f(16), PitchSpeed: f(20), YawSpeed: f(24),
+	}, nil
+}
+
+// ParamSet is the PARAM_SET message (id 23): the ground station writes
+// one named autopilot parameter. Its 16-byte param_id field is the
+// fixed-size buffer the paper's injected vulnerability overflows.
+type ParamSet struct {
+	ParamValue      float32
+	TargetSystem    byte
+	TargetComponent byte
+	ParamID         string // up to 16 bytes on the wire
+	ParamType       byte
+}
+
+// Marshal encodes the PARAM_SET payload.
+func (ps *ParamSet) Marshal() []byte {
+	out := make([]byte, 23)
+	binary.LittleEndian.PutUint32(out, math.Float32bits(ps.ParamValue))
+	out[4] = ps.TargetSystem
+	out[5] = ps.TargetComponent
+	copy(out[6:22], ps.ParamID)
+	out[22] = ps.ParamType
+	return out
+}
+
+// UnmarshalParamSet decodes a PARAM_SET payload.
+func UnmarshalParamSet(p []byte) (*ParamSet, error) {
+	if len(p) < 23 {
+		return nil, fmt.Errorf("mavlink: param_set payload %d bytes, want 23", len(p))
+	}
+	id := p[6:22]
+	n := 0
+	for n < len(id) && id[n] != 0 {
+		n++
+	}
+	return &ParamSet{
+		ParamValue:      math.Float32frombits(binary.LittleEndian.Uint32(p)),
+		TargetSystem:    p[4],
+		TargetComponent: p[5],
+		ParamID:         string(id[:n]),
+		ParamType:       p[22],
+	}, nil
+}
+
+// StatusText is the STATUSTEXT message (id 253).
+type StatusText struct {
+	Severity byte
+	Text     string // up to 50 bytes
+}
+
+// Marshal encodes the STATUSTEXT payload.
+func (st *StatusText) Marshal() []byte {
+	out := make([]byte, 51)
+	out[0] = st.Severity
+	copy(out[1:], st.Text)
+	return out
+}
+
+// UnmarshalStatusText decodes a STATUSTEXT payload.
+func UnmarshalStatusText(p []byte) (*StatusText, error) {
+	if len(p) < 51 {
+		return nil, fmt.Errorf("mavlink: statustext payload %d bytes, want 51", len(p))
+	}
+	text := p[1:51]
+	n := 0
+	for n < len(text) && text[n] != 0 {
+		n++
+	}
+	return &StatusText{Severity: p[0], Text: string(text[:n])}, nil
+}

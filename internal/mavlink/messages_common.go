@@ -1,0 +1,551 @@
+package mavlink
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Additional MAVLink v1 common-set messages a ground station uses to
+// operate an ArduPilot vehicle: system status, position, RC/servo
+// telemetry, the mission (waypoint) protocol, parameter reads and
+// command acknowledgement.
+
+// le is a little-endian cursor for payload marshalling.
+type le struct {
+	b   []byte
+	off int
+}
+
+func (c *le) u8(v byte)     { c.b[c.off] = v; c.off++ }
+func (c *le) u16(v uint16)  { binary.LittleEndian.PutUint16(c.b[c.off:], v); c.off += 2 }
+func (c *le) u32(v uint32)  { binary.LittleEndian.PutUint32(c.b[c.off:], v); c.off += 4 }
+func (c *le) i16(v int16)   { c.u16(uint16(v)) }
+func (c *le) i32(v int32)   { c.u32(uint32(v)) }
+func (c *le) f32(v float32) { c.u32(math.Float32bits(v)) }
+
+func (c *le) gu8() byte     { v := c.b[c.off]; c.off++; return v }
+func (c *le) gu16() uint16  { v := binary.LittleEndian.Uint16(c.b[c.off:]); c.off += 2; return v }
+func (c *le) gu32() uint32  { v := binary.LittleEndian.Uint32(c.b[c.off:]); c.off += 4; return v }
+func (c *le) gi16() int16   { return int16(c.gu16()) }
+func (c *le) gi32() int32   { return int32(c.gu32()) }
+func (c *le) gf32() float32 { return math.Float32frombits(c.gu32()) }
+
+func checkLen(name string, p []byte, want int) error {
+	if len(p) < want {
+		return fmt.Errorf("mavlink: %s payload %d bytes, want %d", name, len(p), want)
+	}
+	return nil
+}
+
+// SysStatus is SYS_STATUS (id 1): onboard health and load.
+type SysStatus struct {
+	SensorsPresent, SensorsEnabled, SensorsHealth uint32
+	Load                                          uint16 // 0..1000 (the paper's 96% CPU -> 960)
+	VoltageBattery                                uint16 // mV
+	CurrentBattery                                int16  // 10*mA
+	DropRateComm                                  uint16
+	ErrorsComm                                    uint16
+	ErrorsCount1, ErrorsCount2                    uint16
+	ErrorsCount3, ErrorsCount4                    uint16
+	BatteryRemaining                              int8
+}
+
+// Marshal encodes the SYS_STATUS payload.
+func (m *SysStatus) Marshal() []byte {
+	c := &le{b: make([]byte, 31)}
+	c.u32(m.SensorsPresent)
+	c.u32(m.SensorsEnabled)
+	c.u32(m.SensorsHealth)
+	c.u16(m.Load)
+	c.u16(m.VoltageBattery)
+	c.i16(m.CurrentBattery)
+	c.u16(m.DropRateComm)
+	c.u16(m.ErrorsComm)
+	c.u16(m.ErrorsCount1)
+	c.u16(m.ErrorsCount2)
+	c.u16(m.ErrorsCount3)
+	c.u16(m.ErrorsCount4)
+	c.u8(byte(m.BatteryRemaining))
+	return c.b
+}
+
+// UnmarshalSysStatus decodes a SYS_STATUS payload.
+func UnmarshalSysStatus(p []byte) (*SysStatus, error) {
+	if err := checkLen("sys_status", p, 31); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	return &SysStatus{
+		SensorsPresent: c.gu32(), SensorsEnabled: c.gu32(), SensorsHealth: c.gu32(),
+		Load: c.gu16(), VoltageBattery: c.gu16(), CurrentBattery: c.gi16(),
+		DropRateComm: c.gu16(), ErrorsComm: c.gu16(),
+		ErrorsCount1: c.gu16(), ErrorsCount2: c.gu16(),
+		ErrorsCount3: c.gu16(), ErrorsCount4: c.gu16(),
+		BatteryRemaining: int8(c.gu8()),
+	}, nil
+}
+
+// GPSRawInt is GPS_RAW_INT (id 24): raw GNSS fix.
+type GPSRawInt struct {
+	TimeUsec          uint64
+	Lat, Lon, Alt     int32
+	Eph, Epv          uint16
+	Vel, Cog          uint16
+	FixType           byte
+	SatellitesVisible byte
+}
+
+// Marshal encodes the GPS_RAW_INT payload.
+func (m *GPSRawInt) Marshal() []byte {
+	c := &le{b: make([]byte, 30)}
+	c.u32(uint32(m.TimeUsec))
+	c.u32(uint32(m.TimeUsec >> 32))
+	c.i32(m.Lat)
+	c.i32(m.Lon)
+	c.i32(m.Alt)
+	c.u16(m.Eph)
+	c.u16(m.Epv)
+	c.u16(m.Vel)
+	c.u16(m.Cog)
+	c.u8(m.FixType)
+	c.u8(m.SatellitesVisible)
+	return c.b
+}
+
+// UnmarshalGPSRawInt decodes a GPS_RAW_INT payload.
+func UnmarshalGPSRawInt(p []byte) (*GPSRawInt, error) {
+	if err := checkLen("gps_raw_int", p, 30); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	lo := uint64(c.gu32())
+	hi := uint64(c.gu32())
+	return &GPSRawInt{
+		TimeUsec: hi<<32 | lo,
+		Lat:      c.gi32(), Lon: c.gi32(), Alt: c.gi32(),
+		Eph: c.gu16(), Epv: c.gu16(), Vel: c.gu16(), Cog: c.gu16(),
+		FixType: c.gu8(), SatellitesVisible: c.gu8(),
+	}, nil
+}
+
+// GlobalPositionInt is GLOBAL_POSITION_INT (id 33): fused position.
+type GlobalPositionInt struct {
+	TimeBootMs       uint32
+	Lat, Lon         int32
+	Alt, RelativeAlt int32
+	Vx, Vy, Vz       int16
+	Hdg              uint16
+}
+
+// Marshal encodes the GLOBAL_POSITION_INT payload.
+func (m *GlobalPositionInt) Marshal() []byte {
+	c := &le{b: make([]byte, 28)}
+	c.u32(m.TimeBootMs)
+	c.i32(m.Lat)
+	c.i32(m.Lon)
+	c.i32(m.Alt)
+	c.i32(m.RelativeAlt)
+	c.i16(m.Vx)
+	c.i16(m.Vy)
+	c.i16(m.Vz)
+	c.u16(m.Hdg)
+	return c.b
+}
+
+// UnmarshalGlobalPositionInt decodes a GLOBAL_POSITION_INT payload.
+func UnmarshalGlobalPositionInt(p []byte) (*GlobalPositionInt, error) {
+	if err := checkLen("global_position_int", p, 28); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	return &GlobalPositionInt{
+		TimeBootMs: c.gu32(),
+		Lat:        c.gi32(), Lon: c.gi32(), Alt: c.gi32(), RelativeAlt: c.gi32(),
+		Vx: c.gi16(), Vy: c.gi16(), Vz: c.gi16(), Hdg: c.gu16(),
+	}, nil
+}
+
+// RCChannelsRaw is RC_CHANNELS_RAW (id 35).
+type RCChannelsRaw struct {
+	TimeBootMs uint32
+	Chan       [8]uint16
+	Port       byte
+	RSSI       byte
+}
+
+// Marshal encodes the RC_CHANNELS_RAW payload.
+func (m *RCChannelsRaw) Marshal() []byte {
+	c := &le{b: make([]byte, 22)}
+	c.u32(m.TimeBootMs)
+	for _, v := range m.Chan {
+		c.u16(v)
+	}
+	c.u8(m.Port)
+	c.u8(m.RSSI)
+	return c.b
+}
+
+// UnmarshalRCChannelsRaw decodes an RC_CHANNELS_RAW payload.
+func UnmarshalRCChannelsRaw(p []byte) (*RCChannelsRaw, error) {
+	if err := checkLen("rc_channels_raw", p, 22); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	m := &RCChannelsRaw{TimeBootMs: c.gu32()}
+	for i := range m.Chan {
+		m.Chan[i] = c.gu16()
+	}
+	m.Port = c.gu8()
+	m.RSSI = c.gu8()
+	return m, nil
+}
+
+// ServoOutputRaw is SERVO_OUTPUT_RAW (id 36): the control-surface
+// outputs whose strict deadlines §III describes.
+type ServoOutputRaw struct {
+	TimeUsec uint32
+	Servo    [8]uint16
+	Port     byte
+}
+
+// Marshal encodes the SERVO_OUTPUT_RAW payload.
+func (m *ServoOutputRaw) Marshal() []byte {
+	c := &le{b: make([]byte, 21)}
+	c.u32(m.TimeUsec)
+	for _, v := range m.Servo {
+		c.u16(v)
+	}
+	c.u8(m.Port)
+	return c.b
+}
+
+// UnmarshalServoOutputRaw decodes a SERVO_OUTPUT_RAW payload.
+func UnmarshalServoOutputRaw(p []byte) (*ServoOutputRaw, error) {
+	if err := checkLen("servo_output_raw", p, 21); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	m := &ServoOutputRaw{TimeUsec: c.gu32()}
+	for i := range m.Servo {
+		m.Servo[i] = c.gu16()
+	}
+	m.Port = c.gu8()
+	return m, nil
+}
+
+// MissionItem is MISSION_ITEM (id 39): one waypoint of the navigation
+// path the paper's stealthy attacker modifies.
+type MissionItem struct {
+	Param1, Param2, Param3, Param4 float32
+	X, Y, Z                        float32
+	Seq                            uint16
+	Command                        uint16
+	TargetSystem, TargetComponent  byte
+	Frame                          byte
+	Current                        byte
+	Autocontinue                   byte
+}
+
+// Marshal encodes the MISSION_ITEM payload.
+func (m *MissionItem) Marshal() []byte {
+	c := &le{b: make([]byte, 37)}
+	c.f32(m.Param1)
+	c.f32(m.Param2)
+	c.f32(m.Param3)
+	c.f32(m.Param4)
+	c.f32(m.X)
+	c.f32(m.Y)
+	c.f32(m.Z)
+	c.u16(m.Seq)
+	c.u16(m.Command)
+	c.u8(m.TargetSystem)
+	c.u8(m.TargetComponent)
+	c.u8(m.Frame)
+	c.u8(m.Current)
+	c.u8(m.Autocontinue)
+	return c.b
+}
+
+// UnmarshalMissionItem decodes a MISSION_ITEM payload.
+func UnmarshalMissionItem(p []byte) (*MissionItem, error) {
+	if err := checkLen("mission_item", p, 37); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	return &MissionItem{
+		Param1: c.gf32(), Param2: c.gf32(), Param3: c.gf32(), Param4: c.gf32(),
+		X: c.gf32(), Y: c.gf32(), Z: c.gf32(),
+		Seq: c.gu16(), Command: c.gu16(),
+		TargetSystem: c.gu8(), TargetComponent: c.gu8(),
+		Frame: c.gu8(), Current: c.gu8(), Autocontinue: c.gu8(),
+	}, nil
+}
+
+// MissionRequest is MISSION_REQUEST (id 40).
+type MissionRequest struct {
+	Seq                           uint16
+	TargetSystem, TargetComponent byte
+}
+
+// Marshal encodes the MISSION_REQUEST payload.
+func (m *MissionRequest) Marshal() []byte {
+	c := &le{b: make([]byte, 4)}
+	c.u16(m.Seq)
+	c.u8(m.TargetSystem)
+	c.u8(m.TargetComponent)
+	return c.b
+}
+
+// UnmarshalMissionRequest decodes a MISSION_REQUEST payload.
+func UnmarshalMissionRequest(p []byte) (*MissionRequest, error) {
+	if err := checkLen("mission_request", p, 4); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	return &MissionRequest{Seq: c.gu16(), TargetSystem: c.gu8(), TargetComponent: c.gu8()}, nil
+}
+
+// MissionCount is MISSION_COUNT (id 44).
+type MissionCount struct {
+	Count                         uint16
+	TargetSystem, TargetComponent byte
+}
+
+// Marshal encodes the MISSION_COUNT payload.
+func (m *MissionCount) Marshal() []byte {
+	c := &le{b: make([]byte, 4)}
+	c.u16(m.Count)
+	c.u8(m.TargetSystem)
+	c.u8(m.TargetComponent)
+	return c.b
+}
+
+// UnmarshalMissionCount decodes a MISSION_COUNT payload.
+func UnmarshalMissionCount(p []byte) (*MissionCount, error) {
+	if err := checkLen("mission_count", p, 4); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	return &MissionCount{Count: c.gu16(), TargetSystem: c.gu8(), TargetComponent: c.gu8()}, nil
+}
+
+// MissionAck is MISSION_ACK (id 47).
+type MissionAck struct {
+	TargetSystem, TargetComponent byte
+	Type                          byte
+}
+
+// Marshal encodes the MISSION_ACK payload.
+func (m *MissionAck) Marshal() []byte {
+	return []byte{m.TargetSystem, m.TargetComponent, m.Type}
+}
+
+// UnmarshalMissionAck decodes a MISSION_ACK payload.
+func UnmarshalMissionAck(p []byte) (*MissionAck, error) {
+	if err := checkLen("mission_ack", p, 3); err != nil {
+		return nil, err
+	}
+	return &MissionAck{TargetSystem: p[0], TargetComponent: p[1], Type: p[2]}, nil
+}
+
+// VFRHud is VFR_HUD (id 74): the pilot's heads-up metrics.
+type VFRHud struct {
+	Airspeed, Groundspeed float32
+	Alt, Climb            float32
+	Heading               int16
+	Throttle              uint16
+}
+
+// Marshal encodes the VFR_HUD payload.
+func (m *VFRHud) Marshal() []byte {
+	c := &le{b: make([]byte, 20)}
+	c.f32(m.Airspeed)
+	c.f32(m.Groundspeed)
+	c.f32(m.Alt)
+	c.f32(m.Climb)
+	c.i16(m.Heading)
+	c.u16(m.Throttle)
+	return c.b
+}
+
+// UnmarshalVFRHud decodes a VFR_HUD payload.
+func UnmarshalVFRHud(p []byte) (*VFRHud, error) {
+	if err := checkLen("vfr_hud", p, 20); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	return &VFRHud{
+		Airspeed: c.gf32(), Groundspeed: c.gf32(),
+		Alt: c.gf32(), Climb: c.gf32(),
+		Heading: c.gi16(), Throttle: c.gu16(),
+	}, nil
+}
+
+// CommandLong is COMMAND_LONG (id 76).
+type CommandLong struct {
+	Param                         [7]float32
+	Command                       uint16
+	TargetSystem, TargetComponent byte
+	Confirmation                  byte
+}
+
+// Marshal encodes the COMMAND_LONG payload.
+func (m *CommandLong) Marshal() []byte {
+	c := &le{b: make([]byte, 33)}
+	for _, v := range m.Param {
+		c.f32(v)
+	}
+	c.u16(m.Command)
+	c.u8(m.TargetSystem)
+	c.u8(m.TargetComponent)
+	c.u8(m.Confirmation)
+	return c.b
+}
+
+// UnmarshalCommandLong decodes a COMMAND_LONG payload.
+func UnmarshalCommandLong(p []byte) (*CommandLong, error) {
+	if err := checkLen("command_long", p, 33); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	m := &CommandLong{}
+	for i := range m.Param {
+		m.Param[i] = c.gf32()
+	}
+	m.Command = c.gu16()
+	m.TargetSystem = c.gu8()
+	m.TargetComponent = c.gu8()
+	m.Confirmation = c.gu8()
+	return m, nil
+}
+
+// CommandAck is COMMAND_ACK (id 77).
+type CommandAck struct {
+	Command uint16
+	Result  byte
+}
+
+// Marshal encodes the COMMAND_ACK payload.
+func (m *CommandAck) Marshal() []byte {
+	c := &le{b: make([]byte, 3)}
+	c.u16(m.Command)
+	c.u8(m.Result)
+	return c.b
+}
+
+// UnmarshalCommandAck decodes a COMMAND_ACK payload.
+func UnmarshalCommandAck(p []byte) (*CommandAck, error) {
+	if err := checkLen("command_ack", p, 3); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	return &CommandAck{Command: c.gu16(), Result: c.gu8()}, nil
+}
+
+// ParamValue is PARAM_VALUE (id 22): the autopilot's reply to parameter
+// reads and writes.
+type ParamValue struct {
+	ParamValue float32
+	ParamCount uint16
+	ParamIndex uint16
+	ParamID    string // up to 16 bytes
+	ParamType  byte
+}
+
+// Marshal encodes the PARAM_VALUE payload.
+func (m *ParamValue) Marshal() []byte {
+	c := &le{b: make([]byte, 25)}
+	c.f32(m.ParamValue)
+	c.u16(m.ParamCount)
+	c.u16(m.ParamIndex)
+	copy(c.b[8:24], m.ParamID)
+	c.b[24] = m.ParamType
+	return c.b
+}
+
+// UnmarshalParamValue decodes a PARAM_VALUE payload.
+func UnmarshalParamValue(p []byte) (*ParamValue, error) {
+	if err := checkLen("param_value", p, 25); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	m := &ParamValue{ParamValue: c.gf32(), ParamCount: c.gu16(), ParamIndex: c.gu16()}
+	id := p[8:24]
+	n := 0
+	for n < len(id) && id[n] != 0 {
+		n++
+	}
+	m.ParamID = string(id[:n])
+	m.ParamType = p[24]
+	return m, nil
+}
+
+// ParamRequestRead is PARAM_REQUEST_READ (id 20).
+type ParamRequestRead struct {
+	ParamIndex                    int16
+	TargetSystem, TargetComponent byte
+	ParamID                       string // up to 16 bytes
+}
+
+// Marshal encodes the PARAM_REQUEST_READ payload.
+func (m *ParamRequestRead) Marshal() []byte {
+	c := &le{b: make([]byte, 20)}
+	c.i16(m.ParamIndex)
+	c.u8(m.TargetSystem)
+	c.u8(m.TargetComponent)
+	copy(c.b[4:20], m.ParamID)
+	return c.b
+}
+
+// UnmarshalParamRequestRead decodes a PARAM_REQUEST_READ payload.
+func UnmarshalParamRequestRead(p []byte) (*ParamRequestRead, error) {
+	if err := checkLen("param_request_read", p, 20); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	m := &ParamRequestRead{ParamIndex: c.gi16(), TargetSystem: c.gu8(), TargetComponent: c.gu8()}
+	id := p[4:20]
+	n := 0
+	for n < len(id) && id[n] != 0 {
+		n++
+	}
+	m.ParamID = string(id[:n])
+	return m, nil
+}
+
+// RawIMU is RAW_IMU (id 27): unscaled 9-DOF sensor values — the
+// gyroscope stream the paper's attack V1 corrupts.
+type RawIMU struct {
+	TimeUsec            uint64
+	Xacc, Yacc, Zacc    int16
+	Xgyro, Ygyro, Zgyro int16
+	Xmag, Ymag, Zmag    int16
+}
+
+// Marshal encodes the RAW_IMU payload.
+func (m *RawIMU) Marshal() []byte {
+	c := &le{b: make([]byte, 26)}
+	c.u32(uint32(m.TimeUsec))
+	c.u32(uint32(m.TimeUsec >> 32))
+	for _, v := range []int16{m.Xacc, m.Yacc, m.Zacc, m.Xgyro, m.Ygyro, m.Zgyro, m.Xmag, m.Ymag, m.Zmag} {
+		c.i16(v)
+	}
+	return c.b
+}
+
+// UnmarshalRawIMU decodes a RAW_IMU payload.
+func UnmarshalRawIMU(p []byte) (*RawIMU, error) {
+	if err := checkLen("raw_imu", p, 26); err != nil {
+		return nil, err
+	}
+	c := &le{b: p}
+	lo := uint64(c.gu32())
+	hi := uint64(c.gu32())
+	return &RawIMU{
+		TimeUsec: hi<<32 | lo,
+		Xacc:     c.gi16(), Yacc: c.gi16(), Zacc: c.gi16(),
+		Xgyro: c.gi16(), Ygyro: c.gi16(), Zgyro: c.gi16(),
+		Xmag: c.gi16(), Ymag: c.gi16(), Zmag: c.gi16(),
+	}, nil
+}

@@ -1,0 +1,210 @@
+package mavlink_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mavr/internal/mavlink"
+)
+
+// Every common-set message round-trips through its payload codec and
+// through a full frame with the schema length check enabled.
+func TestCommonMessagesRoundTrip(t *testing.T) {
+	type codec struct {
+		id        byte
+		marshal   func() []byte
+		unmarshal func([]byte) (any, error)
+		want      any
+	}
+	cases := []codec{
+		{
+			id: mavlink.MsgIDSysStatus,
+			want: &mavlink.SysStatus{
+				SensorsPresent: 0x3F, SensorsEnabled: 0x2F, SensorsHealth: 0x0F,
+				Load: 960, VoltageBattery: 11100, CurrentBattery: 1234,
+				DropRateComm: 1, ErrorsComm: 2, ErrorsCount1: 3, ErrorsCount2: 4,
+				ErrorsCount3: 5, ErrorsCount4: 6, BatteryRemaining: 87,
+			},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalSysStatus(p) },
+		},
+		{
+			id: mavlink.MsgIDGPSRawInt,
+			want: &mavlink.GPSRawInt{
+				TimeUsec: 0x1122334455667788, Lat: 404338600, Lon: -868922500,
+				Alt: 188000, Eph: 121, Epv: 65535, Vel: 1500, Cog: 9000,
+				FixType: 3, SatellitesVisible: 9,
+			},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalGPSRawInt(p) },
+		},
+		{
+			id: mavlink.MsgIDGlobalPositionInt,
+			want: &mavlink.GlobalPositionInt{
+				TimeBootMs: 120000, Lat: 404338600, Lon: -868922500,
+				Alt: 188000, RelativeAlt: 5000, Vx: 120, Vy: -30, Vz: 4, Hdg: 27000,
+			},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalGlobalPositionInt(p) },
+		},
+		{
+			id: mavlink.MsgIDRCChannelsRaw,
+			want: &mavlink.RCChannelsRaw{
+				TimeBootMs: 9000, Chan: [8]uint16{1500, 1500, 1000, 1500, 1100, 1900, 0, 0},
+				Port: 0, RSSI: 210,
+			},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalRCChannelsRaw(p) },
+		},
+		{
+			id: mavlink.MsgIDServoOutputRaw,
+			want: &mavlink.ServoOutputRaw{
+				TimeUsec: 1234567, Servo: [8]uint16{1500, 1480, 1520, 1000, 0, 0, 0, 0}, Port: 0,
+			},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalServoOutputRaw(p) },
+		},
+		{
+			id: mavlink.MsgIDMissionItem,
+			want: &mavlink.MissionItem{
+				Param1: 0, Param2: 5, Param3: 0, Param4: 0,
+				X: 40.43386, Y: -86.89225, Z: 100,
+				Seq: 3, Command: 16, TargetSystem: 1, TargetComponent: 1,
+				Frame: 3, Current: 0, Autocontinue: 1,
+			},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalMissionItem(p) },
+		},
+		{
+			id:        mavlink.MsgIDMissionRequest,
+			want:      &mavlink.MissionRequest{Seq: 7, TargetSystem: 255, TargetComponent: 190},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalMissionRequest(p) },
+		},
+		{
+			id:        mavlink.MsgIDMissionCount,
+			want:      &mavlink.MissionCount{Count: 12, TargetSystem: 1, TargetComponent: 1},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalMissionCount(p) },
+		},
+		{
+			id:        mavlink.MsgIDMissionAck,
+			want:      &mavlink.MissionAck{TargetSystem: 255, TargetComponent: 190, Type: 0},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalMissionAck(p) },
+		},
+		{
+			id: mavlink.MsgIDVFRHud,
+			want: &mavlink.VFRHud{
+				Airspeed: 22.5, Groundspeed: 21, Alt: 188, Climb: -0.4,
+				Heading: 274, Throttle: 63,
+			},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalVFRHud(p) },
+		},
+		{
+			id: mavlink.MsgIDCommandLong,
+			want: &mavlink.CommandLong{
+				Param: [7]float32{1, 0, 0, 0, 40.4, -86.8, 120}, Command: 22,
+				TargetSystem: 1, TargetComponent: 1, Confirmation: 0,
+			},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalCommandLong(p) },
+		},
+		{
+			id:        mavlink.MsgIDCommandAck,
+			want:      &mavlink.CommandAck{Command: 22, Result: 0},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalCommandAck(p) },
+		},
+		{
+			id: mavlink.MsgIDParamValue,
+			want: &mavlink.ParamValue{
+				ParamValue: 4.5, ParamCount: 500, ParamIndex: 12,
+				ParamID: "RATE_RLL_P", ParamType: 9,
+			},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalParamValue(p) },
+		},
+		{
+			id: mavlink.MsgIDParamRequestRead,
+			want: &mavlink.ParamRequestRead{
+				ParamIndex: -1, TargetSystem: 1, TargetComponent: 1, ParamID: "RATE_RLL_P",
+			},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalParamRequestRead(p) },
+		},
+		{
+			id: mavlink.MsgIDRawIMU,
+			want: &mavlink.RawIMU{
+				TimeUsec: 777, Xacc: 1, Yacc: -2, Zacc: 1000,
+				Xgyro: 5, Ygyro: -6, Zgyro: 7, Xmag: 120, Ymag: -340, Zmag: 560,
+			},
+			unmarshal: func(p []byte) (any, error) { return mavlink.UnmarshalRawIMU(p) },
+		},
+	}
+
+	for _, tc := range cases {
+		m, ok := tc.want.(interface{ Marshal() []byte })
+		if !ok {
+			t.Fatalf("message %d lacks Marshal", tc.id)
+		}
+		payload := m.Marshal()
+		if want, _ := mavlink.ExpectedLen(tc.id); len(payload) != want {
+			t.Errorf("id %d: payload %d bytes, schema says %d", tc.id, len(payload), want)
+		}
+		got, err := tc.unmarshal(payload)
+		if err != nil {
+			t.Fatalf("id %d: %v", tc.id, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("id %d round trip:\ngot  %+v\nwant %+v", tc.id, got, tc.want)
+		}
+		// Through a full strict frame.
+		fr := &mavlink.Frame{MsgID: tc.id, SysID: 1, CompID: 1, Payload: payload}
+		wire, err := fr.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p mavlink.Parser
+		p.StrictLength = true
+		frames := p.FeedBytes(wire)
+		if len(frames) != 1 {
+			t.Fatalf("id %d: strict parser rejected the frame", tc.id)
+		}
+	}
+}
+
+func TestCRCExtraCoversAllSchemas(t *testing.T) {
+	for _, id := range []byte{
+		mavlink.MsgIDHeartbeat, mavlink.MsgIDSysStatus, mavlink.MsgIDParamRequestRead,
+		mavlink.MsgIDParamRequestList, mavlink.MsgIDParamValue, mavlink.MsgIDParamSet,
+		mavlink.MsgIDGPSRawInt, mavlink.MsgIDRawIMU, mavlink.MsgIDAttitude,
+		mavlink.MsgIDGlobalPositionInt, mavlink.MsgIDRCChannelsRaw, mavlink.MsgIDServoOutputRaw,
+		mavlink.MsgIDMissionItem, mavlink.MsgIDMissionRequest, mavlink.MsgIDMissionCount,
+		mavlink.MsgIDMissionAck, mavlink.MsgIDVFRHud, mavlink.MsgIDCommandLong,
+		mavlink.MsgIDCommandAck, mavlink.MsgIDStatusText,
+	} {
+		if _, ok := mavlink.CRCExtra(id); !ok {
+			t.Errorf("no CRC_EXTRA for message id %d", id)
+		}
+		if _, ok := mavlink.ExpectedLen(id); !ok {
+			t.Errorf("no schema length for message id %d", id)
+		}
+	}
+}
+
+// The mission (waypoint) upload dialogue round-trips message by message.
+func TestMissionProtocolDialogue(t *testing.T) {
+	var p mavlink.Parser
+	p.StrictLength = true
+	send := func(id byte, payload []byte) *mavlink.Frame {
+		fr := &mavlink.Frame{MsgID: id, SysID: 255, CompID: 190, Payload: payload}
+		wire, err := fr.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := p.FeedBytes(wire)
+		if len(frames) != 1 {
+			t.Fatalf("message %d dropped", id)
+		}
+		return frames[0]
+	}
+	send(mavlink.MsgIDMissionCount, (&mavlink.MissionCount{Count: 2, TargetSystem: 1}).Marshal())
+	send(mavlink.MsgIDMissionRequest, (&mavlink.MissionRequest{Seq: 0, TargetSystem: 255}).Marshal())
+	f := send(mavlink.MsgIDMissionItem, (&mavlink.MissionItem{Seq: 0, Command: 16, X: 1, Y: 2, Z: 3}).Marshal())
+	item, err := mavlink.UnmarshalMissionItem(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if item.X != 1 || item.Y != 2 || item.Z != 3 {
+		t.Errorf("waypoint corrupted: %+v", item)
+	}
+	send(mavlink.MsgIDMissionAck, (&mavlink.MissionAck{Type: 0}).Marshal())
+}

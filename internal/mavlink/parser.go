@@ -1,0 +1,106 @@
+package mavlink
+
+// Parser is an incremental MAVLink v1.0 frame decoder fed one byte at a
+// time, mirroring how the APM decodes its serial stream in software
+// (paper §II-C). The zero value is ready to use.
+//
+// StrictLength controls the schema length check. A conformant decoder
+// (StrictLength true) drops frames whose length byte disagrees with the
+// message schema; the paper's injected vulnerability is exactly this
+// check disabled, which allows over-long attack payloads through.
+type Parser struct {
+	// StrictLength enables the per-message payload length check.
+	StrictLength bool
+
+	state int
+	buf   []byte
+	need  int
+	stats ParserStats
+}
+
+// ParserStats counts parser outcomes.
+type ParserStats struct {
+	Frames      int // complete, checksum-valid frames
+	CRCErrors   int
+	LengthDrops int // frames dropped by the strict length check
+	Resyncs     int // bytes skipped hunting for magic
+}
+
+const (
+	stIdle = iota
+	stHeader
+	stBody
+)
+
+// Stats returns the accumulated counters.
+func (p *Parser) Stats() ParserStats { return p.stats }
+
+// Feed consumes one received byte and returns a complete frame when one
+// is finished, or nil.
+func (p *Parser) Feed(b byte) *Frame {
+	switch p.state {
+	case stIdle:
+		if b != Magic {
+			p.stats.Resyncs++
+			return nil
+		}
+		p.buf = p.buf[:0]
+		p.state = stHeader
+	case stHeader:
+		p.buf = append(p.buf, b)
+		if len(p.buf) == 5 {
+			p.need = int(p.buf[0]) + 2 // payload + checksum
+			p.state = stBody
+		}
+	case stBody:
+		p.buf = append(p.buf, b)
+		if len(p.buf) == 5+p.need {
+			p.state = stIdle
+			return p.finish()
+		}
+	}
+	return nil
+}
+
+// FeedBytes consumes a byte slice, returning all completed frames.
+func (p *Parser) FeedBytes(data []byte) []*Frame {
+	var out []*Frame
+	for _, b := range data {
+		if f := p.Feed(b); f != nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (p *Parser) finish() *Frame {
+	n := int(p.buf[0])
+	f := &Frame{
+		Len:     p.buf[0],
+		Seq:     p.buf[1],
+		SysID:   p.buf[2],
+		CompID:  p.buf[3],
+		MsgID:   p.buf[4],
+		Payload: append([]byte(nil), p.buf[5:5+n]...),
+	}
+	f.Checksum = uint16(p.buf[5+n]) | uint16(p.buf[6+n])<<8
+	crc := CRC(p.buf[:5+n])
+	extra, ok := crcExtra[f.MsgID]
+	if !ok {
+		p.stats.CRCErrors++
+		return nil
+	}
+	crc = CRCAccumulate(extra, crc)
+	if crc != f.Checksum {
+		p.stats.CRCErrors++
+		return nil
+	}
+	if p.StrictLength {
+		if want, ok := expectedLen[f.MsgID]; ok && n != want {
+			p.stats.LengthDrops++
+			return nil
+		}
+	}
+	p.stats.Frames++
+	return f
+}

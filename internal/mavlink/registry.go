@@ -1,0 +1,93 @@
+package mavlink
+
+import "fmt"
+
+// Message is a typed MAVLink payload.
+type Message interface {
+	// ID returns the MAVLink message id.
+	ID() byte
+	// Marshal encodes the payload to its wire format.
+	Marshal() []byte
+}
+
+// ID implementations binding each typed message to its id.
+func (h *Heartbeat) ID() byte         { return MsgIDHeartbeat }
+func (m *SysStatus) ID() byte         { return MsgIDSysStatus }
+func (m *ParamRequestRead) ID() byte  { return MsgIDParamRequestRead }
+func (m *ParamValue) ID() byte        { return MsgIDParamValue }
+func (ps *ParamSet) ID() byte         { return MsgIDParamSet }
+func (m *GPSRawInt) ID() byte         { return MsgIDGPSRawInt }
+func (m *RawIMU) ID() byte            { return MsgIDRawIMU }
+func (a *Attitude) ID() byte          { return MsgIDAttitude }
+func (m *GlobalPositionInt) ID() byte { return MsgIDGlobalPositionInt }
+func (m *RCChannelsRaw) ID() byte     { return MsgIDRCChannelsRaw }
+func (m *ServoOutputRaw) ID() byte    { return MsgIDServoOutputRaw }
+func (m *MissionItem) ID() byte       { return MsgIDMissionItem }
+func (m *MissionRequest) ID() byte    { return MsgIDMissionRequest }
+func (m *MissionCount) ID() byte      { return MsgIDMissionCount }
+func (m *MissionAck) ID() byte        { return MsgIDMissionAck }
+func (m *VFRHud) ID() byte            { return MsgIDVFRHud }
+func (m *CommandLong) ID() byte       { return MsgIDCommandLong }
+func (m *CommandAck) ID() byte        { return MsgIDCommandAck }
+func (st *StatusText) ID() byte       { return MsgIDStatusText }
+
+// Pack wraps a typed message into a ready-to-send frame.
+func Pack(msg Message, seq, sysID, compID byte) (*Frame, error) {
+	f := &Frame{
+		Seq:     seq,
+		SysID:   sysID,
+		CompID:  compID,
+		MsgID:   msg.ID(),
+		Payload: msg.Marshal(),
+	}
+	if want, ok := ExpectedLen(f.MsgID); ok && len(f.Payload) != want {
+		return nil, fmt.Errorf("mavlink: message %d marshals to %d bytes, schema says %d",
+			f.MsgID, len(f.Payload), want)
+	}
+	return f, nil
+}
+
+// Decode converts a validated frame into its typed message.
+func Decode(f *Frame) (Message, error) {
+	switch f.MsgID {
+	case MsgIDHeartbeat:
+		return UnmarshalHeartbeat(f.Payload)
+	case MsgIDSysStatus:
+		return UnmarshalSysStatus(f.Payload)
+	case MsgIDParamRequestRead:
+		return UnmarshalParamRequestRead(f.Payload)
+	case MsgIDParamValue:
+		return UnmarshalParamValue(f.Payload)
+	case MsgIDParamSet:
+		return UnmarshalParamSet(f.Payload)
+	case MsgIDGPSRawInt:
+		return UnmarshalGPSRawInt(f.Payload)
+	case MsgIDRawIMU:
+		return UnmarshalRawIMU(f.Payload)
+	case MsgIDAttitude:
+		return UnmarshalAttitude(f.Payload)
+	case MsgIDGlobalPositionInt:
+		return UnmarshalGlobalPositionInt(f.Payload)
+	case MsgIDRCChannelsRaw:
+		return UnmarshalRCChannelsRaw(f.Payload)
+	case MsgIDServoOutputRaw:
+		return UnmarshalServoOutputRaw(f.Payload)
+	case MsgIDMissionItem:
+		return UnmarshalMissionItem(f.Payload)
+	case MsgIDMissionRequest:
+		return UnmarshalMissionRequest(f.Payload)
+	case MsgIDMissionCount:
+		return UnmarshalMissionCount(f.Payload)
+	case MsgIDMissionAck:
+		return UnmarshalMissionAck(f.Payload)
+	case MsgIDVFRHud:
+		return UnmarshalVFRHud(f.Payload)
+	case MsgIDCommandLong:
+		return UnmarshalCommandLong(f.Payload)
+	case MsgIDCommandAck:
+		return UnmarshalCommandAck(f.Payload)
+	case MsgIDStatusText:
+		return UnmarshalStatusText(f.Payload)
+	}
+	return nil, fmt.Errorf("%w: id %d", ErrUnknownMsg, f.MsgID)
+}

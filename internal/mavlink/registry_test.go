@@ -1,0 +1,73 @@
+package mavlink_test
+
+import (
+	"reflect"
+	"testing"
+
+	"mavr/internal/mavlink"
+)
+
+func TestPackDecodeAllTypedMessages(t *testing.T) {
+	msgs := []mavlink.Message{
+		&mavlink.Heartbeat{Type: 1, Autopilot: 3, SystemStatus: 4, MavlinkVersion: 3},
+		&mavlink.SysStatus{Load: 960, VoltageBattery: 11100, BatteryRemaining: 80},
+		&mavlink.ParamRequestRead{ParamIndex: -1, ParamID: "RATE_RLL_P"},
+		&mavlink.ParamValue{ParamValue: 4.5, ParamCount: 10, ParamIndex: 2, ParamID: "X", ParamType: 9},
+		&mavlink.ParamSet{ParamValue: 1.5, ParamID: "Y", ParamType: 9},
+		&mavlink.GPSRawInt{TimeUsec: 99, Lat: 1, Lon: 2, Alt: 3, FixType: 3},
+		&mavlink.RawIMU{TimeUsec: 5, Xgyro: -1, Ygyro: 2, Zgyro: -3},
+		&mavlink.Attitude{TimeBootMs: 1, Roll: 0.1, Pitch: 0.2, Yaw: 0.3},
+		&mavlink.GlobalPositionInt{Lat: 404338600, Lon: -868922500, Hdg: 27000},
+		&mavlink.RCChannelsRaw{Chan: [8]uint16{1500, 1500, 1000, 1500, 0, 0, 0, 0}, RSSI: 200},
+		&mavlink.ServoOutputRaw{Servo: [8]uint16{1500, 1480, 0, 0, 0, 0, 0, 0}},
+		&mavlink.MissionItem{Seq: 1, Command: 16, X: 1, Y: 2, Z: 3, Autocontinue: 1},
+		&mavlink.MissionRequest{Seq: 1, TargetSystem: 1},
+		&mavlink.MissionCount{Count: 4, TargetSystem: 1},
+		&mavlink.MissionAck{Type: 0},
+		&mavlink.VFRHud{Airspeed: 20, Heading: 90, Throttle: 50},
+		&mavlink.CommandLong{Command: 22, TargetSystem: 1},
+		&mavlink.CommandAck{Command: 22, Result: 0},
+		&mavlink.StatusText{Severity: 6, Text: "takeoff complete"},
+	}
+	var p mavlink.Parser
+	p.StrictLength = true
+	for i, msg := range msgs {
+		fr, err := mavlink.Pack(msg, byte(i), 1, 1)
+		if err != nil {
+			t.Fatalf("pack %T: %v", msg, err)
+		}
+		wire, err := fr.Marshal()
+		if err != nil {
+			t.Fatalf("marshal %T: %v", msg, err)
+		}
+		frames := p.FeedBytes(wire)
+		if len(frames) != 1 {
+			t.Fatalf("%T rejected by strict parser", msg)
+		}
+		got, err := mavlink.Decode(frames[0])
+		if err != nil {
+			t.Fatalf("decode %T: %v", msg, err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%T round trip:\ngot  %+v\nwant %+v", msg, got, msg)
+		}
+	}
+}
+
+func TestDecodeUnknownMessage(t *testing.T) {
+	if _, err := mavlink.Decode(&mavlink.Frame{MsgID: 200}); err == nil {
+		t.Error("unknown id decoded")
+	}
+}
+
+func TestPackRejectsSchemaViolation(t *testing.T) {
+	// A hand-rolled message that marshals to the wrong length.
+	if _, err := mavlink.Pack(badMsg{}, 0, 1, 1); err == nil {
+		t.Error("schema violation accepted")
+	}
+}
+
+type badMsg struct{}
+
+func (badMsg) ID() byte        { return mavlink.MsgIDHeartbeat }
+func (badMsg) Marshal() []byte { return make([]byte, 3) }

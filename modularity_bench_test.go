@@ -1,0 +1,37 @@
+// The §VII-A1 modularity observation as a measured sweep: "good code
+// design that utilizes more modules also increases the number of
+// symbols that can be shuffled around by MAVR, hence increasing brute
+// force effort."
+package mavr_test
+
+import (
+	"testing"
+
+	"mavr/internal/core"
+	"mavr/internal/firmware"
+	"mavr/internal/gadget"
+)
+
+func BenchmarkModularitySweep(b *testing.B) {
+	for _, n := range []int{100, 300, 600, 917} {
+		n := n
+		b.Run(map[int]string{100: "n100", 300: "n300", 600: "n600", 917: "n917"}[n], func(b *testing.B) {
+			spec := firmware.TestApp()
+			spec.Functions = n
+			spec.Seed = int64(n)
+			spec.DirectPointerTable = false
+			var gadgets int
+			var bits float64
+			for i := 0; i < b.N; i++ {
+				img, err := firmware.Generate(spec, firmware.ModeMAVR)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gadgets = len(gadget.Scan(img.Flash, 24))
+				bits = core.EntropyBits(n)
+			}
+			b.ReportMetric(float64(gadgets), "gadgets")
+			b.ReportMetric(bits, "entropy_bits")
+		})
+	}
+}
