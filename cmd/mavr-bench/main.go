@@ -5,14 +5,15 @@
 // Usage:
 //
 //	mavr-bench [-only table1,table2,table3,fig1,...,effectiveness,entropy,bruteforce]
+//	mavr-bench -perf   # substrate micro-benchmarks in benchstat format
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strings"
+	"testing"
 	"time"
 
 	"mavr/internal/asm"
@@ -43,7 +44,11 @@ var paperTables = map[string][3]int{
 
 func run() error {
 	only := flag.String("only", "", "comma-separated subset of experiments")
+	perfMode := flag.Bool("perf", false, "run substrate micro-benchmarks and print benchstat-format lines")
 	flag.Parse()
+	if *perfMode {
+		return perf()
+	}
 	want := map[string]bool{}
 	for _, s := range strings.Split(*only, ",") {
 		if s != "" {
@@ -78,6 +83,71 @@ func run() error {
 		if err := s.fn(); err != nil {
 			return fmt.Errorf("%s: %w", s.name, err)
 		}
+	}
+	return nil
+}
+
+// perf runs the substrate micro-benchmarks that gate the emulator's
+// performance work and prints them as benchstat-compatible lines, so a
+// checked-in baseline (benchmarks/baseline.txt) can be compared against
+// a working tree with `mavr-bench -perf > new.txt && benchstat
+// benchmarks/baseline.txt new.txt`.
+func perf() error {
+	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+	if err != nil {
+		return err
+	}
+	plane, err := firmware.Generate(firmware.Arduplane(), firmware.ModeMAVR)
+	if err != nil {
+		return err
+	}
+	sim, err := attack.NewSim(img.Flash)
+	if err != nil {
+		return err
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"CPUExecution", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if f := sim.Run(10_000); f != nil {
+					b.Fatal(f)
+				}
+			}
+		}},
+		{"GadgetScanArduplane", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gadget.Scan(plane.Flash, 24)
+			}
+		}},
+		{"BruteForceN3", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.SimulateBruteForceFixedParallel(1, 3, 500, 0)
+				core.SimulateBruteForceRerandomizedParallel(1, 3, 500, 0)
+			}
+		}},
+		{"BruteForceN5", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.SimulateBruteForceFixedParallel(1, 5, 500, 0)
+				core.SimulateBruteForceRerandomizedParallel(1, 5, 500, 0)
+			}
+		}},
+		{"Decode", func(b *testing.B) {
+			words := uint32(len(img.Flash) / 2)
+			for i := 0; i < b.N; i++ {
+				avr.DecodeAt(img.Flash, uint32(i)%words)
+			}
+		}},
+	}
+	fmt.Println("goos: linux")
+	fmt.Println("goarch: amd64")
+	fmt.Println("pkg: mavr/cmd/mavr-bench")
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		fmt.Printf("Benchmark%s \t%8d\t%12.1f ns/op\n",
+			bench.name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
 	}
 	return nil
 }
@@ -336,11 +406,12 @@ func entropy() error {
 
 func bruteforce() error {
 	fmt.Println("BRUTE FORCE (§V-D): mean attempts, 4000 Monte-Carlo trials")
-	rng := rand.New(rand.NewSource(1))
 	fmt.Println("  n    fixed (model (n!+1)/2)    MAVR re-randomized (model n!)")
 	for _, n := range []int{3, 4, 5} {
-		f := core.SimulateBruteForceFixed(rng, n, 4000)
-		r := core.SimulateBruteForceRerandomized(rng, n, 4000)
+		// Worker-pool sweeps; deterministic for the fixed seed regardless
+		// of worker count.
+		f := core.SimulateBruteForceFixedParallel(1, n, 4000, 0)
+		r := core.SimulateBruteForceRerandomizedParallel(1, n, 4000, 0)
 		fmt.Printf("  %d    %7.1f (%7.1f)           %7.1f (%7.1f)\n",
 			n, f.MeanAttempts, f.ModelAttempts, r.MeanAttempts, r.ModelAttempts)
 	}

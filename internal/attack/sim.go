@@ -61,6 +61,20 @@ func NewSim(image []byte) (*Sim, error) {
 	return s, nil
 }
 
+// Reset reloads image and returns the simulator to power-on state,
+// reusing the CPU and its memories (flash, data space, decode cache,
+// I/O hooks). Sweeps that boot one randomized layout per trial should
+// prefer this over allocating a fresh Sim per iteration.
+func (s *Sim) Reset(image []byte) error {
+	if err := s.CPU.LoadFlash(image); err != nil {
+		return err
+	}
+	s.CPU.Reset()
+	s.rx = s.rx[:0]
+	s.tx = s.tx[:0]
+	return nil
+}
+
 // Send queues raw serial bytes for the firmware to receive.
 func (s *Sim) Send(data []byte) { s.rx = append(s.rx, data...) }
 

@@ -1,0 +1,86 @@
+package avr
+
+// Predecoded instruction cache.
+//
+// Every workload in this reproduction — attack delivery, boot-time
+// re-randomization, timing analysis — bottoms out in the CPU dispatch
+// loop. Re-decoding the same flash words on every executed cycle is
+// pure waste: flash only changes through a handful of well-defined
+// channels. The cache decodes each flash word once into a side table
+// indexed by PC and serves subsequent fetches from it.
+//
+// Invalidation contract (load-bearing for MAVR, whose whole defense is
+// rewriting flash under the application):
+//
+//   - LoadFlash replaces the entire image        -> full invalidation
+//   - SPM page erase/write (spm.go)              -> page invalidated
+//   - external writes (bootloader installation,
+//     board-level programming)                   -> caller invalidates
+//     via InvalidateFlash
+//
+// A range invalidation always extends one word before the modified
+// region: that word may be the first word of a two-word instruction
+// whose second word just changed.
+//
+// The table is allocated lazily on first fetch so CPUs that never
+// execute (attacker analysis copies, disassembly helpers) pay nothing.
+
+// fetch returns the decoded instruction at word address pc, decoding
+// and caching it on a miss. pc must be < FlashWords.
+func (c *CPU) fetch(pc uint32) Instr {
+	if c.decValid == nil {
+		c.decoded = make([]Instr, FlashWords)
+		c.decValid = make([]uint64, FlashWords/64)
+	}
+	if c.decValid[pc>>6]&(1<<(pc&63)) != 0 {
+		return c.decoded[pc]
+	}
+	w0 := wordAt(c.Flash, pc)
+	var w1 uint16
+	if pc+1 < FlashWords {
+		w1 = wordAt(c.Flash, pc+1)
+	}
+	in := Decode(w0, w1)
+	c.decoded[pc] = in
+	c.decValid[pc>>6] |= 1 << (pc & 63)
+	return in
+}
+
+// InvalidateFlash marks n flash bytes starting at byte address start as
+// modified, evicting the affected decode-cache lines. Code that writes
+// c.Flash directly (the board's bootloader installation, external
+// programmers) must call this; the CPU's own flash channels (LoadFlash,
+// SPM) invalidate automatically.
+func (c *CPU) InvalidateFlash(start, n uint32) {
+	if c.decValid == nil || n == 0 {
+		return
+	}
+	lo := start / 2
+	if lo > 0 {
+		lo-- // previous word may hold a two-word instruction's first half
+	}
+	hi := (start + n + 1) / 2 // exclusive word bound
+	if hi > FlashWords {
+		hi = FlashWords
+	}
+	// Clear whole 64-bit blocks where possible; bit-by-bit at the edges.
+	for lo < hi && lo&63 != 0 {
+		c.decValid[lo>>6] &^= 1 << (lo & 63)
+		lo++
+	}
+	for lo+64 <= hi {
+		c.decValid[lo>>6] = 0
+		lo += 64
+	}
+	for lo < hi {
+		c.decValid[lo>>6] &^= 1 << (lo & 63)
+		lo++
+	}
+}
+
+// InvalidateAllFlash evicts every decode-cache line.
+func (c *CPU) InvalidateAllFlash() {
+	for i := range c.decValid {
+		c.decValid[i] = 0
+	}
+}

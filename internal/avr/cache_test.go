@@ -1,0 +1,198 @@
+package avr_test
+
+import (
+	"testing"
+
+	"mavr/internal/asm"
+	"mavr/internal/avr"
+)
+
+// Self-programming must evict stale decode-cache lines: the program
+// below executes a subroutine (caching its decodes), rewrites the
+// subroutine's flash page through the real SPM erase/fill/write
+// sequence, and calls it again. The second call must execute the new
+// instructions, not the stale predecodes — this is exactly what MAVR's
+// bootloader reprogramming does to the application under it.
+func TestSPMRewriteInvalidatesDecodeCache(t *testing.T) {
+	// New page content: "ldi r20, 2 ; ret" = words 0xE042, 0x9508.
+	img, err := asm.Assemble(`
+		call sub        ; cache the old subroutine decodes
+
+		; fill buffer word 0 with "ldi r20, 2" (bytes 42 E0)
+		ldi r16, 0x42
+		mov r0, r16
+		ldi r16, 0xE0
+		mov r1, r16
+		ldi r30, 0x00   ; Z = byte 0x0200 (word 0x100)
+		ldi r31, 0x02
+		ldi r17, 0x01   ; SPMEN: buffer fill
+		sts 0x57, r17
+		spm
+
+		; fill buffer word 1 with "ret" (bytes 08 95)
+		ldi r16, 0x08
+		mov r0, r16
+		ldi r16, 0x95
+		mov r1, r16
+		ldi r30, 0x02
+		sts 0x57, r17
+		spm
+
+		; erase the page, then commit the buffer
+		ldi r30, 0x00
+		ldi r17, 0x03   ; SPMEN|PGERS
+		sts 0x57, r17
+		spm
+		ldi r17, 0x05   ; SPMEN|PGWRT
+		sts 0x57, r17
+		spm
+
+		call sub        ; must run the rewritten code
+		sleep
+
+	.org 0x100
+	sub:
+		ldi r20, 1
+		ret
+	`)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := avr.New()
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, fault := c.Run(10_000); fault != nil {
+		t.Fatalf("fault: %v", fault)
+	}
+	if !c.Sleeping {
+		t.Fatal("program did not finish")
+	}
+	if c.Flash[0x200] != 0x42 || c.Flash[0x201] != 0xE0 {
+		t.Fatalf("SPM write did not land: % X", c.Flash[0x200:0x204])
+	}
+	if got := c.Reg(20); got != 2 {
+		t.Errorf("r20 = %d after SPM rewrite, want 2 (stale decode cache?)", got)
+	}
+}
+
+// LoadFlash replaces the whole image and must drop every cached decode.
+func TestLoadFlashInvalidatesDecodeCache(t *testing.T) {
+	imgA, err := asm.Assemble(`
+		ldi r20, 1
+		sleep
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgB, err := asm.Assemble(`
+		ldi r20, 2
+		sleep
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := avr.New()
+	if err := c.LoadFlash(imgA); err != nil {
+		t.Fatal(err)
+	}
+	if _, fault := c.Run(100); fault != nil {
+		t.Fatal(fault)
+	}
+	if c.Reg(20) != 1 {
+		t.Fatalf("image A: r20 = %d", c.Reg(20))
+	}
+	if err := c.LoadFlash(imgB); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if _, fault := c.Run(100); fault != nil {
+		t.Fatal(fault)
+	}
+	if got := c.Reg(20); got != 2 {
+		t.Errorf("image B: r20 = %d, want 2 (stale decode cache?)", got)
+	}
+}
+
+// InvalidateFlash must extend one word before the modified range:
+// patching only the second word of a two-word instruction has to evict
+// the cached decode of its first word.
+func TestInvalidateFlashCoversTwoWordStraddle(t *testing.T) {
+	img, err := asm.Assemble(`
+		lds r20, 0x0400
+		sleep
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := avr.New()
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	c.Data[0x0400] = 0xAA
+	c.Data[0x0401] = 0xBB
+	if _, fault := c.Run(100); fault != nil {
+		t.Fatal(fault)
+	}
+	if c.Reg(20) != 0xAA {
+		t.Fatalf("first run: r20 = 0x%02X", c.Reg(20))
+	}
+	// Patch the lds target (the instruction's second word, flash bytes
+	// 2..3) to 0x0401, invalidating only the modified bytes.
+	c.Flash[2] = 0x01
+	c.Flash[3] = 0x04
+	c.InvalidateFlash(2, 2)
+	c.Reset()
+	c.Data[0x0401] = 0xBB
+	if _, fault := c.Run(100); fault != nil {
+		t.Fatal(fault)
+	}
+	if got := c.Reg(20); got != 0xBB {
+		t.Errorf("after patch: r20 = 0x%02X, want 0xBB (straddling word not evicted?)", got)
+	}
+}
+
+// Run on a sleeping core fast-forwards the remaining cycle budget
+// instead of returning after a single one-cycle sleep step, so
+// board-level timing derived from Run's cycle accounting stays
+// meaningful across sleep windows.
+func TestRunSleepConsumesBudget(t *testing.T) {
+	img, err := asm.Assemble(`
+		nop
+		sleep
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := avr.New()
+	if err := c.LoadFlash(img); err != nil {
+		t.Fatal(err)
+	}
+	used, fault := c.Run(1000)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if used != 1000 {
+		t.Errorf("Run consumed %d cycles, want the full 1000 budget", used)
+	}
+	if c.Cycles != 1000 {
+		t.Errorf("Cycles = %d, want 1000", c.Cycles)
+	}
+	// A second Run keeps fast-forwarding while asleep.
+	used, fault = c.Run(500)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if used != 500 || c.Cycles != 1500 {
+		t.Errorf("second Run: used %d, Cycles %d; want 500, 1500", used, c.Cycles)
+	}
+	// An interrupt still wakes it mid-budget.
+	c.RaiseInterrupt(avr.VectorTimer0Ovf)
+	if !c.PendingInterrupts() {
+		t.Fatal("interrupt not pending")
+	}
+	c.Run(100)
+	if c.Sleeping {
+		t.Error("pending interrupt did not wake the sleeping core")
+	}
+}

@@ -96,6 +96,11 @@ type CPU struct {
 	intSuppress bool
 	spmBuf      [SPMPageSize]byte
 	spmBufInit  bool
+
+	// Predecoded instruction cache (see cache.go). decoded[pc] is valid
+	// iff bit pc of decValid is set; both are allocated on first fetch.
+	decoded  []Instr
+	decValid []uint64
 }
 
 // New returns a CPU with zeroed memories and SP initialized to the top
@@ -120,6 +125,7 @@ func (c *CPU) LoadFlash(image []byte) error {
 		c.Flash[i] = 0xFF // erased flash reads as all ones
 	}
 	copy(c.Flash, image)
+	c.InvalidateAllFlash()
 	return nil
 }
 
@@ -300,16 +306,11 @@ func (c *CPU) Step() error {
 		c.raise(FaultPCOutOfRange, 0)
 		return c.fault
 	}
-	w0 := wordAt(c.Flash, c.PC)
-	var w1 uint16
-	if c.PC+1 < FlashWords {
-		w1 = wordAt(c.Flash, c.PC+1)
-	}
-	in := Decode(w0, w1)
+	in := c.fetch(c.PC)
 	if c.OnStep != nil {
 		c.OnStep(c.PC, in)
 	}
-	c.exec(in, w0)
+	c.exec(in)
 	if c.fault != nil {
 		return c.fault
 	}
@@ -319,13 +320,45 @@ func (c *CPU) Step() error {
 // Run executes until a fault occurs or maxCycles elapse. It returns the
 // number of cycles consumed and the fault (nil if the budget expired or
 // the CPU went to sleep).
+//
+// A sleeping core with no pending interrupt consumes the remaining
+// budget in one step: nothing inside a Run call can wake it (interrupt
+// sources are raised between calls), so the sleep window fast-forwards
+// and board-level timing stays meaningful.
 func (c *CPU) Run(maxCycles uint64) (uint64, *Fault) {
 	start := c.Cycles
-	for c.Cycles-start < maxCycles {
-		if err := c.Step(); err != nil {
-			if errors.Is(err, ErrSleeping) {
-				return c.Cycles - start, nil
-			}
+	end := start + maxCycles
+	if end < start { // budget overflow: run to the end of time
+		end = ^uint64(0)
+	}
+	// Tight dispatch loop: the fault check, interrupt window and sleep
+	// state are re-tested per instruction but all stay in registers; the
+	// instruction itself comes predecoded from the cache.
+	for c.Cycles < end {
+		if c.fault != nil {
+			return c.Cycles - start, c.fault
+		}
+		if c.intSuppress {
+			// SEI/RETI one-instruction delay: execute exactly one more
+			// instruction before recognizing pending interrupts.
+			c.intSuppress = false
+		} else if c.pendingInts != 0 && c.dispatchInterrupt() {
+			continue
+		}
+		if c.Sleeping {
+			c.Cycles = end
+			return c.Cycles - start, nil
+		}
+		if c.PC >= FlashWords {
+			c.raise(FaultPCOutOfRange, 0)
+			return c.Cycles - start, c.fault
+		}
+		in := c.fetch(c.PC)
+		if c.OnStep != nil {
+			c.OnStep(c.PC, in)
+		}
+		c.exec(in)
+		if c.fault != nil {
 			return c.Cycles - start, c.fault
 		}
 	}

@@ -142,23 +142,27 @@ func decodeLDDSTD(w0 uint16) Instr {
 	return Instr{Op: op, D: d, Q: q, Words: 1}
 }
 
+// ldstModes maps the low nibble of the 0x9000/0x9200 ld/st block to its
+// load and store opcodes. A zero (OpInvalid) load marks an unmapped
+// mode. Package-level so decode9xxx stays allocation-free on the hot
+// path.
+var ldstModes = [16]struct{ load, st Op }{
+	0x1: {OpLDZInc, OpSTZInc},
+	0x2: {OpLDZDec, OpSTZDec},
+	0x9: {OpLDYInc, OpSTYInc},
+	0xA: {OpLDYDec, OpSTYDec},
+	0xC: {OpLDX, OpSTX},
+	0xD: {OpLDXInc, OpSTXInc},
+	0xE: {OpLDXDec, OpSTXDec},
+	0xF: {OpPOP, OpPUSH},
+}
+
 func decode9xxx(w0, w1 uint16) Instr {
 	d := int((w0 >> 4) & 0x1F)
 	switch {
 	case w0&0xFE00 == 0x9000 || w0&0xFE00 == 0x9200:
 		store := w0&0x0200 != 0
 		mode := w0 & 0xF
-		type pair struct{ load, st Op }
-		modes := map[uint16]pair{
-			0x1: {OpLDZInc, OpSTZInc},
-			0x2: {OpLDZDec, OpSTZDec},
-			0x9: {OpLDYInc, OpSTYInc},
-			0xA: {OpLDYDec, OpSTYDec},
-			0xC: {OpLDX, OpSTX},
-			0xD: {OpLDXInc, OpSTXInc},
-			0xE: {OpLDXDec, OpSTXDec},
-			0xF: {OpPOP, OpPUSH},
-		}
 		switch mode {
 		case 0x0:
 			if store {
@@ -182,7 +186,7 @@ func decode9xxx(w0, w1 uint16) Instr {
 				return Instr{Op: OpELPMZInc, D: d, Words: 1}
 			}
 		default:
-			if p, ok := modes[mode]; ok {
+			if p := ldstModes[mode]; p.load != OpInvalid {
 				op := p.load
 				if store {
 					op = p.st

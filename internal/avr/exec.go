@@ -27,13 +27,13 @@ func baseCycles(op Op) uint64 {
 	return 1
 }
 
-func (c *CPU) exec(in Instr, w0 uint16) {
+func (c *CPU) exec(in Instr) {
 	next := c.PC + uint32(in.Words)
 	c.Cycles += baseCycles(in.Op)
 
 	switch in.Op {
 	case OpInvalid:
-		c.raise(FaultInvalidOpcode, w0)
+		c.raise(FaultInvalidOpcode, wordAt(c.Flash, c.PC))
 		return
 
 	case OpNOP, OpWDR:
@@ -46,7 +46,7 @@ func (c *CPU) exec(in Instr, w0 uint16) {
 		c.Sleeping = true
 
 	case OpBREAK:
-		c.raise(FaultBreak, w0)
+		c.raise(FaultBreak, wordAt(c.Flash, c.PC))
 		return
 
 	case OpMOVW:

@@ -41,10 +41,12 @@ func (c *CPU) execSPM() {
 			for i := 0; i < SPMPageSize; i++ {
 				c.Flash[page+i] = 0xFF
 			}
+			c.InvalidateFlash(uint32(page), SPMPageSize)
 		}
 	case mode&(1<<BitPGWRT) != 0:
 		if page+SPMPageSize <= len(c.Flash) {
 			copy(c.Flash[page:page+SPMPageSize], c.spmBuf[:])
+			c.InvalidateFlash(uint32(page), SPMPageSize)
 		}
 		for i := range c.spmBuf {
 			c.spmBuf[i] = 0xFF

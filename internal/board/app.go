@@ -96,6 +96,7 @@ func (a *AppProcessor) InstallBootloader(code []byte, start uint32) {
 	a.bootCode = append([]byte(nil), code...)
 	a.bootStart = start
 	copy(a.CPU.Flash[start:], a.bootCode)
+	a.CPU.InvalidateFlash(start, uint32(len(a.bootCode)))
 }
 
 // Program writes a new application image into the processor's flash via
@@ -107,6 +108,7 @@ func (a *AppProcessor) Program(image []byte) error {
 	}
 	if a.bootCode != nil {
 		copy(a.CPU.Flash[a.bootStart:], a.bootCode)
+		a.CPU.InvalidateFlash(a.bootStart, uint32(len(a.bootCode)))
 	}
 	a.inReset = true
 	return nil

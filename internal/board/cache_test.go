@@ -1,0 +1,62 @@
+package board_test
+
+import (
+	"testing"
+
+	"mavr/internal/asm"
+	"mavr/internal/board"
+	"mavr/internal/firmware"
+)
+
+// Reprogramming through the resident bootloader must leave no stale
+// predecoded instructions behind: run application A long enough to warm
+// the decode cache, rewrite the same pages with application B via the
+// real SPM programming path, and check B's behavior (a different store
+// to SRAM) after reset.
+func TestBootloaderReprogrammingInvalidatesDecodeCache(t *testing.T) {
+	imgA, err := asm.Assemble(`
+		ldi r16, 0xAA
+		sts 0x0400, r16
+	haltA:
+		rjmp haltA
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgB, err := asm.Assemble(`
+		ldi r16, 0x55
+		sts 0x0400, r16
+	haltB:
+		rjmp haltB
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boot := testImage(t)
+	app := board.NewAppProcessor()
+	app.InstallBootloader(boot.Bootloader, firmware.BootloaderStart)
+
+	if _, err := app.ProgramViaBootloader(imgA); err != nil {
+		t.Fatalf("program A: %v", err)
+	}
+	app.Reset(true)
+	if fault := app.RunCycles(1000); fault != nil {
+		t.Fatalf("image A faulted: %v", fault)
+	}
+	if got := app.CPU.Data[0x0400]; got != 0xAA {
+		t.Fatalf("image A: data[0x0400] = 0x%02X, want 0xAA", got)
+	}
+
+	if _, err := app.ProgramViaBootloader(imgB); err != nil {
+		t.Fatalf("program B: %v", err)
+	}
+	app.Reset(true)
+	app.CPU.Data[0x0400] = 0
+	if fault := app.RunCycles(1000); fault != nil {
+		t.Fatalf("image B faulted: %v", fault)
+	}
+	if got := app.CPU.Data[0x0400]; got != 0x55 {
+		t.Errorf("image B: data[0x0400] = 0x%02X, want 0x55 (stale decode cache after reprogramming?)", got)
+	}
+}

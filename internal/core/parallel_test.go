@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// The worker-pool brute-force sweeps must be bit-identical for a fixed
+// seed no matter how many workers run them: chunk layout and per-chunk
+// RNG streams depend only on (seed, trials), and totals are reduced in
+// chunk order.
+func TestBruteForceParallelDeterministic(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		base := SimulateBruteForceFixedParallel(7, n, 1000, 1)
+		for _, workers := range []int{2, 4, 8} {
+			got := SimulateBruteForceFixedParallel(7, n, 1000, workers)
+			if got.MeanAttempts != base.MeanAttempts {
+				t.Errorf("fixed n=%d: workers=%d mean %v != workers=1 mean %v",
+					n, workers, got.MeanAttempts, base.MeanAttempts)
+			}
+		}
+		baseR := SimulateBruteForceRerandomizedParallel(7, n, 1000, 1)
+		for _, workers := range []int{2, 4, 8} {
+			got := SimulateBruteForceRerandomizedParallel(7, n, 1000, workers)
+			if got.MeanAttempts != baseR.MeanAttempts {
+				t.Errorf("rerandomized n=%d: workers=%d mean %v != workers=1 mean %v",
+					n, workers, got.MeanAttempts, baseR.MeanAttempts)
+			}
+		}
+	}
+}
+
+// Different seeds must produce different streams (guards against a
+// chunkRNG regression that collapses seeds into one orbit position).
+func TestBruteForceParallelSeedSensitivity(t *testing.T) {
+	a := SimulateBruteForceFixedParallel(1, 4, 2000, 4)
+	b := SimulateBruteForceFixedParallel(2, 4, 2000, 4)
+	if a.MeanAttempts == b.MeanAttempts {
+		t.Errorf("seeds 1 and 2 produced identical means (%v); RNG streams not seed-dependent", a.MeanAttempts)
+	}
+}
+
+// The parallel sweeps must converge to the closed-form models of §V-D,
+// like the sequential ones (guards against chunk-stream overlap bias:
+// a linear SplitMix64 seed schedule converges to the wrong mean).
+func TestBruteForceParallelMatchesModels(t *testing.T) {
+	const trials = 60_000
+	for _, n := range []int{3, 4} {
+		fixed := SimulateBruteForceFixedParallel(11, n, trials, 8)
+		if rel := math.Abs(fixed.MeanAttempts-fixed.ModelAttempts) / fixed.ModelAttempts; rel > 0.03 {
+			t.Errorf("fixed n=%d: mean %.3f vs model %.3f (rel err %.3f)",
+				n, fixed.MeanAttempts, fixed.ModelAttempts, rel)
+		}
+		rer := SimulateBruteForceRerandomizedParallel(11, n, trials, 8)
+		if rel := math.Abs(rer.MeanAttempts-rer.ModelAttempts) / rer.ModelAttempts; rel > 0.05 {
+			t.Errorf("rerandomized n=%d: mean %.3f vs model %.3f (rel err %.3f)",
+				n, rer.MeanAttempts, rer.ModelAttempts, rel)
+		}
+	}
+}

@@ -13,6 +13,8 @@ package gadget
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"mavr/internal/avr"
 )
@@ -67,18 +69,74 @@ func (g *Gadget) Words() int {
 
 const retWord = 0x9508
 
+// minParallelWords is the image size (in words) below which a sharded
+// scan is not worth the goroutine setup.
+const minParallelWords = 16 * 1024
+
 // Scan finds one gadget per ret instruction in image: the longest valid
 // suffix of at most maxWords words that decodes cleanly into the ret
 // with no intervening control transfer. The resulting count is the
 // "gadgets found" figure of §VII-A.
+//
+// Large images are sharded across goroutines by flash region. Each
+// shard owns the ret words inside its word range but reads the whole
+// image when walking back from a ret, so sequences crossing a shard
+// boundary — including the interiors of two-word instructions — are
+// covered exactly as in a sequential scan. Shard results are merged in
+// address order, so the output is byte-identical to a sequential scan.
 func Scan(image []byte, maxWords int) []*Gadget {
 	words := len(image) / 2
+	shards := runtime.GOMAXPROCS(0)
+	if words < minParallelWords || shards <= 1 {
+		return scanRange(image, 0, words, maxWords)
+	}
+	return scanSharded(image, maxWords, shards)
+}
+
+// scanSharded runs the region-sharded scan with an explicit shard
+// count (Scan picks GOMAXPROCS; tests pin it to cross-check against
+// the sequential scan).
+func scanSharded(image []byte, maxWords, shards int) []*Gadget {
+	words := len(image) / 2
+	chunk := (words + shards - 1) / shards
+	results := make([][]*Gadget, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > words {
+			hi = words
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			results[i] = scanRange(image, lo, hi, maxWords)
+		}(i, lo, hi)
+	}
+	wg.Wait()
 	var out []*Gadget
-	for w := 0; w < words; w++ {
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// scanRange scans the ret words in word range [lo, hi), reading the
+// full image for the backward suffix walk. The decode window and
+// fallthrough table are reused across rets to keep the loop
+// allocation-free.
+func scanRange(image []byte, lo, hi, maxWords int) []*Gadget {
+	var out []*Gadget
+	win := make([]avr.Instr, maxWords)
+	ok := make([]bool, maxWords+1)
+	for w := lo; w < hi; w++ {
 		if wordAt(image, uint32(w)) != retWord {
 			continue
 		}
-		g := longestSuffix(image, uint32(w), maxWords)
+		g := longestSuffix(image, uint32(w), maxWords, win, ok)
 		if g != nil {
 			out = append(out, g)
 		}
@@ -97,52 +155,60 @@ func CountByKind(gs []*Gadget) map[Kind]int {
 
 // longestSuffix finds the longest chain of valid instructions starting
 // at or before ret (word address) that ends exactly at ret.
-func longestSuffix(image []byte, ret uint32, maxWords int) *Gadget {
-	var best []avr.Instr
-	var bestStart uint32
-	for back := 1; back <= maxWords; back++ {
-		if uint32(back) > ret {
-			break
-		}
-		start := ret - uint32(back)
-		seq, ok := decodeRange(image, start, ret)
-		if ok {
-			best = seq
-			bestStart = start
+//
+// Each of the maxWords window positions is decoded exactly once and
+// the fallthrough property is computed backwards: position i falls
+// through onto ret iff its instruction is valid straight-line code and
+// decoding resumes either exactly at ret or at a position that itself
+// falls through. The longest suffix is then the earliest such start —
+// the same answer as re-decoding every candidate range, at O(maxWords)
+// instead of O(maxWords²) decodes per ret.
+//
+// win and ok are caller-provided scratch of lengths maxWords and
+// maxWords+1.
+func longestSuffix(image []byte, ret uint32, maxWords int, win []avr.Instr, ok []bool) *Gadget {
+	maxBack := maxWords
+	if uint32(maxBack) > ret {
+		maxBack = int(ret)
+	}
+	base := ret - uint32(maxBack)
+	// ok[i] reports whether decoding from word base+i lands exactly on
+	// ret; index maxBack is ret itself.
+	ok[maxBack] = true
+	best := -1
+	for i := maxBack - 1; i >= 0; i-- {
+		in := avr.DecodeAt(image, base+uint32(i))
+		win[i] = in
+		e := i + in.Words
+		ok[i] = straightLine(in.Op) && e <= maxBack && ok[e]
+		if ok[i] {
+			best = i
 		}
 	}
-	if best == nil {
+	if best < 0 {
 		// A bare ret is still a (useless) gadget.
 		return &Gadget{Addr: ret, Instrs: []avr.Instr{{Op: avr.OpRET, Words: 1}}, Kind: KindOther}
 	}
-	best = append(best, avr.Instr{Op: avr.OpRET, Words: 1})
-	return &Gadget{Addr: bestStart, Instrs: best, Kind: classify(best)}
+	seq := make([]avr.Instr, 0, maxBack-best+1)
+	for i := best; i < maxBack; i += win[i].Words {
+		seq = append(seq, win[i])
+	}
+	seq = append(seq, avr.Instr{Op: avr.OpRET, Words: 1})
+	return &Gadget{Addr: base + uint32(best), Instrs: seq, Kind: classify(seq)}
 }
 
-// decodeRange decodes [start, ret) and reports whether it forms a
-// straight-line sequence that falls through exactly onto ret.
-func decodeRange(image []byte, start, ret uint32) ([]avr.Instr, bool) {
-	var seq []avr.Instr
-	pc := start
-	for pc < ret {
-		in := avr.DecodeAt(image, pc)
-		if in.Op == avr.OpInvalid {
-			return nil, false
-		}
-		switch in.Op {
-		case avr.OpRET, avr.OpRETI, avr.OpJMP, avr.OpRJMP, avr.OpIJMP,
-			avr.OpEIJMP, avr.OpCALL, avr.OpRCALL, avr.OpICALL, avr.OpEICALL,
-			avr.OpBRBS, avr.OpBRBC, avr.OpBREAK, avr.OpSLEEP:
-			// Control transfer before the ret: not a straight-line gadget.
-			return nil, false
-		}
-		seq = append(seq, in)
-		pc += uint32(in.Words)
+// straightLine reports whether op can appear inside a gadget body: any
+// valid instruction that is not a control transfer (a transfer before
+// the ret means the sequence never reaches it).
+func straightLine(op avr.Op) bool {
+	switch op {
+	case avr.OpInvalid,
+		avr.OpRET, avr.OpRETI, avr.OpJMP, avr.OpRJMP, avr.OpIJMP,
+		avr.OpEIJMP, avr.OpCALL, avr.OpRCALL, avr.OpICALL, avr.OpEICALL,
+		avr.OpBRBS, avr.OpBRBC, avr.OpBREAK, avr.OpSLEEP:
+		return false
 	}
-	if pc != ret {
-		return nil, false
-	}
-	return seq, true
+	return true
 }
 
 func classify(seq []avr.Instr) Kind {

@@ -1,0 +1,63 @@
+package gadget
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomImage builds a deterministic pseudo-random flash image large
+// enough to cross the parallel-scan threshold, with ret words scattered
+// through it so every shard owns gadgets and sequences straddle shard
+// boundaries.
+func randomImage(words int) []byte {
+	rng := rand.New(rand.NewSource(42))
+	img := make([]byte, words*2)
+	rng.Read(img)
+	for w := 7; w < words; w += 251 {
+		img[w*2] = byte(retWord & 0xFF)
+		img[w*2+1] = byte(retWord >> 8)
+	}
+	return img
+}
+
+// The sharded scan must return exactly the sequential scan's result for
+// any shard count: same gadgets, same order, same decoded sequences —
+// including gadgets whose suffix walk crosses a shard boundary or
+// starts inside a two-word instruction.
+func TestScanShardedMatchesSequential(t *testing.T) {
+	img := randomImage(minParallelWords * 3)
+	const maxWords = 12
+	want := scanRange(img, 0, len(img)/2, maxWords)
+	if len(want) == 0 {
+		t.Fatal("sequential scan found no gadgets; image generator broken")
+	}
+	for _, shards := range []int{2, 3, 4, 7, 16} {
+		got := scanSharded(img, maxWords, shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d gadgets, sequential found %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("shards=%d: gadget %d differs:\n got %+v\nwant %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Concurrent sharded scans over a shared image must be race-free (run
+// under -race in CI). The image is read-only; each shard owns its own
+// scratch and result slice.
+func TestScanShardedConcurrentReaders(t *testing.T) {
+	img := randomImage(minParallelWords * 2)
+	done := make(chan []*Gadget, 4)
+	for i := 0; i < 4; i++ {
+		go func() { done <- scanSharded(img, 10, 4) }()
+	}
+	first := <-done
+	for i := 0; i < 3; i++ {
+		if got := <-done; len(got) != len(first) {
+			t.Fatalf("concurrent scans disagree: %d vs %d gadgets", len(got), len(first))
+		}
+	}
+}
