@@ -5,6 +5,12 @@
 // Usage:
 //
 //	mavr-attack [-v 1|2|3] [-protect] [-value 0x7F]
+//	mavr-attack -connect host:port [-sysid 1]   # inject over a mavr-fleetd socket
+//
+// With -connect the attack rides a real UDP uplink to a running
+// mavr-fleetd vehicle instead of an in-process board; the outcome is
+// reported from the attacker's own ground-station view (fleetd's
+// -metrics endpoint has the vehicle.N.gyrocfg ground truth).
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"mavr/internal/board"
 	"mavr/internal/firmware"
 	"mavr/internal/gcs"
+	"mavr/internal/netlink"
 )
 
 func main() {
@@ -31,6 +38,8 @@ func run() error {
 	protect := flag.Bool("protect", false, "attack a MAVR-protected board instead of a plain APM")
 	value := flag.Int("value", 0x7F, "gyro configuration byte to write")
 	trace := flag.Bool("trace", false, "print the Fig. 6 stack progression of the V2 chain")
+	connect := flag.String("connect", "", "inject over a mavr-fleetd UDP socket at host:port instead of in-process")
+	sysid := flag.Int("sysid", 1, "target vehicle system id (with -connect)")
 	flag.Parse()
 
 	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
@@ -81,6 +90,10 @@ func run() error {
 		}
 	}
 
+	if *connect != "" {
+		return overSocket(*connect, byte(*sysid), *version, byte(*value), payloads)
+	}
+
 	cfg := board.SystemConfig{Unprotected: true}
 	if *protect {
 		cfg = board.SystemConfig{Master: board.MasterConfig{Seed: 7, WatchdogTimeout: 20 * time.Millisecond}}
@@ -129,6 +142,57 @@ func run() error {
 		fmt.Printf("master: failures detected=%d, randomizations=%d\n",
 			st.FailuresDetected, st.Randomizations)
 	}
+	return nil
+}
+
+// overSocket delivers the attack frames through a mavr-fleetd UDP
+// session and reports what a ground station sharing that socket would
+// see. The fleet paces its own simulation, so cruise phases are waited
+// out on the vehicle's sim clock as carried by received datagrams.
+func overSocket(addr string, sysid byte, version int, value byte, payloads [][]byte) error {
+	c, err := netlink.DialClient(addr, netlink.ClientConfig{SysID: sysid})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	waitSim := func(d time.Duration) error {
+		target := c.SimTime() + d
+		deadline := time.Now().Add(30*time.Second + 2*d)
+		for c.SimTime() < target {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("vehicle %d sim clock stalled at %v (fleet down or wrong sysid?)", sysid, c.SimTime())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return nil
+	}
+
+	// Observe established cruise before injecting.
+	if err := waitSim(200 * time.Millisecond); err != nil {
+		return err
+	}
+	fmt.Printf("attacking vehicle %d at %s with V%d (%d packet(s), %d payload bytes total)\n",
+		sysid, addr, version, len(payloads), totalLen(payloads))
+	for _, p := range payloads {
+		c.SendFrame(attack.Frame(p))
+		if err := waitSim(60 * time.Millisecond); err != nil {
+			return err
+		}
+	}
+	if err := waitSim(time.Second); err != nil {
+		return err
+	}
+
+	mon := c.Monitor()
+	st := c.Stats()
+	fmt.Printf("link: %d datagrams out, %d in, %d seq gaps\n",
+		st.DatagramsOut, st.DatagramsIn, st.SeqGaps)
+	fmt.Printf("GCS view: pulses=%d gaps=%d/%d(link) garbage=%d last-gyro=%d max-silence=%v detected=%v\n",
+		mon.Pulses, mon.SeqGaps, mon.LinkGaps, mon.Garbage, mon.LastGyro,
+		mon.MaxSilence.Round(time.Millisecond), mon.CompromiseDetected(200*time.Millisecond))
+	fmt.Printf("ground truth: check vehicle.%d.gyrocfg on fleetd's -metrics endpoint (wanted %d)\n",
+		sysid, value)
 	return nil
 }
 

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"testing"
@@ -25,6 +26,7 @@ import (
 	"mavr/internal/gadget"
 	"mavr/internal/gcs"
 	"mavr/internal/mavlink"
+	"mavr/internal/netlink"
 )
 
 func main() {
@@ -140,6 +142,9 @@ func perf() error {
 				avr.DecodeAt(img.Flash, uint32(i)%words)
 			}
 		}},
+		{"FrameEncode", benchFrameEncode},
+		{"FrameParse", benchFrameParse},
+		{"NetlinkRoundTrip", benchNetlinkRoundTrip},
 	}
 	fmt.Println("goos: linux")
 	fmt.Println("goarch: amd64")
@@ -150,6 +155,86 @@ func perf() error {
 			bench.name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
 	}
 	return nil
+}
+
+func benchHeartbeatFrame() *mavlink.Frame {
+	hb := &mavlink.Heartbeat{Type: 1, Autopilot: 3, SystemStatus: mavlink.StateActive, MavlinkVersion: 3}
+	return &mavlink.Frame{MsgID: mavlink.MsgIDHeartbeat, SysID: 1, CompID: 1, Payload: hb.Marshal()}
+}
+
+func benchFrameEncode(b *testing.B) {
+	f := benchHeartbeatFrame()
+	buf := make([]byte, 0, 64)
+	for i := 0; i < b.N; i++ {
+		out, err := f.AppendMarshal(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+func benchFrameParse(b *testing.B) {
+	frames := make([]*mavlink.Frame, 16)
+	for i := range frames {
+		f := benchHeartbeatFrame()
+		f.Seq = byte(i)
+		frames[i] = f
+	}
+	wire, err := mavlink.MarshalBatch(frames)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var p mavlink.Parser
+	b.SetBytes(int64(len(wire)))
+	for i := 0; i < b.N; i++ {
+		p.FeedBytes(wire)
+	}
+	if p.Stats().Frames == 0 {
+		b.Fatal("parser produced no frames")
+	}
+}
+
+// benchNetlinkRoundTrip measures one encode → UDP loopback send →
+// receive → decode cycle of the fleet transport, mirroring
+// internal/netlink's BenchmarkNetlinkRoundTrip.
+func benchNetlinkRoundTrip(b *testing.B) {
+	echoConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer echoConn.Close()
+	go func() {
+		buf := make([]byte, 1<<16)
+		for {
+			n, addr, err := echoConn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			echoConn.WriteToUDP(buf[:n], addr)
+		}
+	}()
+	conn, err := net.DialUDP("udp", nil, echoConn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+
+	payload := make([]byte, 256)
+	buf := make([]byte, 1<<16)
+	for i := 0; i < b.N; i++ {
+		pkt := netlink.Encode(netlink.Header{Type: netlink.PacketData, SysID: 1, Seq: uint32(i)}, payload)
+		if _, err := conn.Write(pkt); err != nil {
+			b.Fatal(err)
+		}
+		n, err := conn.Read(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := netlink.Decode(buf[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func genAll() ([]*firmware.Image, error) {

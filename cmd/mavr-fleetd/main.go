@@ -1,0 +1,147 @@
+// mavr-fleetd hosts a fleet of simulated UAVs behind one UDP socket.
+//
+// Each vehicle is an independent board.System flying the vulnerable
+// test application (optionally under MAVR protection), advanced in
+// simulated time by its own goroutine and paced against the wall
+// clock. Ground stations — including mavr-attack -connect — speak the
+// internal/netlink datagram protocol: hello to subscribe to a
+// vehicle's telemetry, data datagrams both ways, bye to leave.
+//
+// Usage:
+//
+//	mavr-fleetd [-n 8] [-addr 127.0.0.1:14550] [-metrics 127.0.0.1:9090]
+//	            [-protect] [-seed 1] [-rate 1.0] [-step 10ms]
+//	            [-drop 0.0] [-dup 0.0] [-latency 0] [-jitter 0] [-simseed 1]
+//	            [-session-timeout 5s] [-duration 0]
+//
+// The -metrics endpoint serves the fleet's counters as plain text
+// ("name value" per line) over HTTP at /metrics (any path works).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mavr/internal/netlink"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 8, "number of simulated vehicles (system ids 1..n)")
+	addr := flag.String("addr", "127.0.0.1:14550", "UDP listen address for telemetry")
+	metricsAddr := flag.String("metrics", "", "serve plain-text metrics over HTTP on this address (empty: disabled)")
+	protect := flag.Bool("protect", false, "boot MAVR-protected boards instead of unprotected APMs")
+	seed := flag.Int64("seed", 1, "master randomization seed base (vehicle i adds i)")
+	rate := flag.Float64("rate", 1.0, "simulated seconds per wall second (0: free-run)")
+	step := flag.Duration("step", 10*time.Millisecond, "simulated time per vehicle tick")
+	drop := flag.Float64("drop", 0, "link simulator: datagram drop probability")
+	dup := flag.Float64("dup", 0, "link simulator: datagram duplication probability")
+	latency := flag.Duration("latency", 0, "link simulator: base one-way latency")
+	jitter := flag.Duration("jitter", 0, "link simulator: additional uniform random delay")
+	simSeed := flag.Int64("simseed", 1, "link simulator seed (fixed seed: same impairment schedule)")
+	sessionTimeout := flag.Duration("session-timeout", 5*time.Second, "expire sessions with no uplink traffic after this long")
+	duration := flag.Duration("duration", 0, "exit after this much wall time (0: run until signalled)")
+	status := flag.Duration("status", 5*time.Second, "status line interval (0: quiet)")
+	flag.Parse()
+
+	fleet, err := netlink.NewFleet(netlink.FleetConfig{
+		Vehicles:   *n,
+		Addr:       *addr,
+		Protected:  *protect,
+		MasterSeed: *seed,
+		Step:       *step,
+		Rate:       *rate,
+		Sim: netlink.SimConfig{
+			Seed:     *simSeed,
+			DropRate: *drop,
+			DupRate:  *dup,
+			Latency:  *latency,
+			Jitter:   *jitter,
+		},
+		SessionTimeout: *sessionTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	if err := fleet.Start(); err != nil {
+		return err
+	}
+	defer fleet.Close()
+	fmt.Printf("fleetd: %d vehicle(s) on %s (rate=%g, step=%v, protect=%v)\n",
+		*n, fleet.Addr(), *rate, *step, *protect)
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, fleet.MetricsText())
+		})}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("fleetd: metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	var timeout <-chan time.Time
+	if *duration > 0 {
+		timeout = time.After(*duration)
+	}
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *status > 0 {
+		ticker = time.NewTicker(*status)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+	for {
+		select {
+		case s := <-sigs:
+			fmt.Printf("fleetd: %v, shutting down\n", s)
+			return fleet.Close()
+		case <-timeout:
+			fmt.Println("fleetd: duration elapsed, shutting down")
+			return fleet.Close()
+		case <-tick:
+			printStatus(fleet)
+		}
+	}
+}
+
+func printStatus(f *netlink.Fleet) {
+	var minSim, maxSim time.Duration
+	alive := 0
+	for i, v := range f.Vehicles() {
+		s := v.Snapshot()
+		if s.Running {
+			alive++
+		}
+		if i == 0 || s.SimTime < minSim {
+			minSim = s.SimTime
+		}
+		if s.SimTime > maxSim {
+			maxSim = s.SimTime
+		}
+	}
+	fmt.Printf("fleetd: sim=[%v..%v] alive=%d/%d sessions=%d expired=%d\n",
+		minSim.Round(time.Millisecond), maxSim.Round(time.Millisecond),
+		alive, len(f.Vehicles()), f.Sessions(), f.ExpiredSessions())
+}

@@ -51,5 +51,5 @@ func (s *System) Events() []Event {
 }
 
 func (s *System) logEvent(kind EventKind, format string, args ...any) {
-	s.events = append(s.events, Event{At: s.clock, Kind: kind, Note: fmt.Sprintf(format, args...)})
+	s.events = append(s.events, Event{At: s.Now(), Kind: kind, Note: fmt.Sprintf(format, args...)})
 }

@@ -54,5 +54,5 @@ func (s *System) TruthGyro() byte {
 	if s.profile == nil {
 		return 0
 	}
-	return s.profile.Sample(s.clock)
+	return s.profile.Sample(s.Now())
 }

@@ -2,6 +2,8 @@ package board
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mavr/internal/avr"
@@ -37,18 +39,27 @@ type SystemConfig struct {
 // System is the complete simulated vehicle: application processor,
 // master processor, external flash and the telemetry link to the
 // ground station, all sharing one simulated clock.
+//
+// Concurrency contract: exactly one goroutine (the "driver") may call
+// FlashFirmware, Boot and Run, and only the driver may touch App,
+// Master or Flash while Run is in flight. The telemetry link
+// endpoints — SendToUAV, DrainGCS and Now — are safe for concurrent
+// use from any goroutine, so a network server (cmd/mavr-fleetd) can
+// shuttle uplink and downlink bytes while the driver advances the
+// simulation.
 type System struct {
 	App    *AppProcessor
 	Master *Master
 	Flash  *ExternalFlash
 
-	cfg   SystemConfig
-	clock time.Duration
+	cfg     SystemConfig
+	clockNS atomic.Int64 // simulated time in nanoseconds
 
-	// Telemetry byte queues with delivery deadlines.
+	// linkMu guards the telemetry byte queues, which cross the
+	// driver/network goroutine boundary.
+	linkMu sync.Mutex
 	toUAV  []timedByte
 	toGCS  []byte
-	txBusy time.Duration // UAV transmitter ready time
 
 	lastFault  *avr.Fault
 	reflashes  []StartupReport
@@ -72,14 +83,24 @@ func NewSystem(cfg SystemConfig) *System {
 	s.App = NewAppProcessor()
 	s.Flash = NewExternalFlash(cfg.FlashCapacity)
 	if !cfg.Unprotected && !cfg.SoftwareOnly {
-		s.Master = NewMaster(cfg.Master, s.Flash, s.App, func() time.Duration { return s.clock })
+		s.Master = NewMaster(cfg.Master, s.Flash, s.App, s.Now)
 	}
-	s.App.tx = func(b byte) { s.toGCS = append(s.toGCS, b) }
+	s.App.tx = func(b byte) {
+		s.linkMu.Lock()
+		s.toGCS = append(s.toGCS, b)
+		s.linkMu.Unlock()
+	}
 	return s
 }
 
-// Now returns the simulated time.
-func (s *System) Now() time.Duration { return s.clock }
+// Now returns the simulated time. Safe for concurrent use.
+func (s *System) Now() time.Duration { return time.Duration(s.clockNS.Load()) }
+
+// advanceClock moves the simulated clock forward by d and returns the
+// new time. Only the driver goroutine advances the clock.
+func (s *System) advanceClock(d time.Duration) time.Duration {
+	return time.Duration(s.clockNS.Add(int64(d)))
+}
 
 // FlashFirmware runs the host-side preprocessing phase and uploads the
 // result to the external flash (or, on an unprotected board, programs
@@ -125,11 +146,11 @@ func (s *System) Boot() (StartupReport, error) {
 		s.App.Reset(true)
 		return StartupReport{}, nil
 	}
-	rep, err := s.Master.Boot(s.clock)
+	rep, err := s.Master.Boot(s.Now())
 	if err != nil {
 		return rep, err
 	}
-	s.clock += rep.Total
+	s.advanceClock(rep.Total)
 	if rep.Randomized {
 		s.logEvent(EventRandomized, "%d bytes programmed in %v", rep.ImageBytes, rep.Total.Round(time.Millisecond))
 	}
@@ -138,10 +159,18 @@ func (s *System) Boot() (StartupReport, error) {
 }
 
 // SendToUAV queues raw telemetry-uplink bytes; they arrive at the UAV
-// paced by the telemetry baud rate.
+// paced by the telemetry baud rate. Safe for concurrent use: senders on
+// different goroutines are serialized onto the link in call order, each
+// transmission starting no earlier than the previous one finished (a
+// half-duplex radio sends one byte at a time).
 func (s *System) SendToUAV(data []byte) {
-	at := s.clock
 	byteTime := time.Duration(10 * int64(time.Second) / TelemetryBaud)
+	s.linkMu.Lock()
+	defer s.linkMu.Unlock()
+	at := s.Now()
+	if n := len(s.toUAV); n > 0 && s.toUAV[n-1].at > at {
+		at = s.toUAV[n-1].at
+	}
 	for _, b := range data {
 		at += byteTime
 		s.toUAV = append(s.toUAV, timedByte{at: at, b: b})
@@ -149,9 +178,12 @@ func (s *System) SendToUAV(data []byte) {
 }
 
 // DrainGCS returns and clears the bytes received by the ground station.
+// Safe for concurrent use with the driver goroutine.
 func (s *System) DrainGCS() []byte {
+	s.linkMu.Lock()
 	out := s.toGCS
 	s.toGCS = nil
+	s.linkMu.Unlock()
 	return out
 }
 
@@ -166,29 +198,35 @@ func (s *System) LastFault() *avr.Fault { return s.lastFault }
 // and the master's watchdog analysis runs continuously. Detected
 // failures trigger reset + re-randomization + reprogramming, whose
 // duration also elapses on the simulated clock (§V-C, §V-D).
+//
+// Run is driver-only: it must never be called concurrently with itself
+// or with Boot/FlashFirmware (see the System concurrency contract).
 func (s *System) Run(d time.Duration) error {
 	const quantum = 250 * time.Microsecond
-	end := s.clock + d
-	for s.clock < end {
+	now := s.Now()
+	end := now + d
+	for now < end {
 		step := quantum
-		if end-s.clock < step {
-			step = end - s.clock
+		if end-now < step {
+			step = end - now
 		}
-		s.clock += step
+		now = s.advanceClock(step)
 
 		// Deliver due uplink bytes.
-		for len(s.toUAV) > 0 && s.toUAV[0].at <= s.clock {
+		s.linkMu.Lock()
+		for len(s.toUAV) > 0 && s.toUAV[0].at <= now {
 			s.App.Receive(s.toUAV[0].b)
 			s.toUAV = s.toUAV[1:]
 		}
+		s.linkMu.Unlock()
 
-		if s.clock >= s.nextTickAt {
-			s.nextTickAt = s.clock + TimerTickInterval
+		if now >= s.nextTickAt {
+			s.nextTickAt = now + TimerTickInterval
 			if s.App.Running() {
 				s.App.CPU.RaiseInterrupt(avr.VectorTimer0Ovf)
 			}
 			if s.profile != nil {
-				s.App.SetRawGyro(s.profile.Sample(s.clock))
+				s.App.SetRawGyro(s.profile.Sample(now))
 			}
 		}
 
@@ -202,14 +240,15 @@ func (s *System) Run(d time.Duration) error {
 		}
 
 		if s.Master != nil {
-			rep, err := s.Master.Poll(s.clock)
+			rep, err := s.Master.Poll(now)
 			if err != nil {
 				return err
 			}
 			if rep != nil {
 				s.logEvent(EventFailureDetected, "watchdog/boot-handshake anomaly")
 				s.reflashes = append(s.reflashes, *rep)
-				s.clock += rep.Total // board is down while reprogramming
+				// Board is down while reprogramming.
+				now = s.advanceClock(rep.Total)
 				s.logEvent(EventReflash, "%d bytes reprogrammed in %v", rep.ImageBytes, rep.Total.Round(time.Millisecond))
 			}
 		}

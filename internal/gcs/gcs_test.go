@@ -215,6 +215,60 @@ func TestMonitorCountsGarbageAndGaps(t *testing.T) {
 	}
 }
 
+// Over a lossy datagram link (netlink), pulse sequence gaps with
+// continuing well-formed traffic are packet loss, not compromise. The
+// tolerant monitor books them as LinkGaps and stays quiet; the strict
+// monitor (serial link) flags the same stream.
+func TestMonitorToleratesLinkLoss(t *testing.T) {
+	feed := func(m *gcs.Monitor) {
+		m.Feed([]byte{firmware.PulseMagic, 1, 10, 0}, 0)
+		m.Feed([]byte{firmware.PulseMagic, 2, 10, 0}, 10*time.Millisecond)
+		m.Feed([]byte{firmware.PulseMagic, 9, 10, 0}, 20*time.Millisecond)  // lost datagram
+		m.Feed([]byte{firmware.PulseMagic, 14, 10, 0}, 30*time.Millisecond) // lost datagram
+	}
+	tolerant := &gcs.Monitor{TolerateLinkLoss: true}
+	feed(tolerant)
+	if tolerant.LinkGaps != 2 || tolerant.SeqGaps != 0 {
+		t.Errorf("tolerant: linkGaps=%d seqGaps=%d, want 2/0", tolerant.LinkGaps, tolerant.SeqGaps)
+	}
+	if tolerant.CompromiseDetected(silenceThreshold) {
+		t.Error("tolerant monitor flagged pure packet loss as compromise")
+	}
+
+	strict := &gcs.Monitor{}
+	feed(strict)
+	if strict.SeqGaps != 2 || strict.LinkGaps != 0 {
+		t.Errorf("strict: seqGaps=%d linkGaps=%d, want 2/0", strict.SeqGaps, strict.LinkGaps)
+	}
+	if !strict.CompromiseDetected(silenceThreshold) {
+		t.Error("strict monitor ignored sequence gaps")
+	}
+}
+
+// Link loss must not mask the paper's actual compromise signal: a
+// vehicle that stops transmitting is still detected in tolerant mode.
+func TestTolerantMonitorStillDetectsVehicleSilence(t *testing.T) {
+	m := &gcs.Monitor{TolerateLinkLoss: true}
+	m.Feed([]byte{firmware.PulseMagic, 1, 10, 0}, 0)
+	m.Feed(nil, 100*time.Millisecond) // link quiet, below threshold
+	if m.VehicleSilent(silenceThreshold) {
+		t.Fatal("short quiet spell misread as silence")
+	}
+	m.Feed(nil, 600*time.Millisecond) // vehicle dead
+	if !m.VehicleSilent(silenceThreshold) {
+		t.Error("vehicle silence not detected")
+	}
+	if !m.CompromiseDetected(silenceThreshold) {
+		t.Error("silence did not trip the tolerant verdict")
+	}
+	// Garbage and corrupt frames also still count in tolerant mode.
+	m2 := &gcs.Monitor{TolerateLinkLoss: true}
+	m2.Feed([]byte{0xEE}, 0)
+	if !m2.CompromiseDetected(silenceThreshold) {
+		t.Error("garbage ignored in tolerant mode")
+	}
+}
+
 // The monitor demuxes interleaved pulses and MAVLink heartbeats.
 func TestMonitorDemuxesHeartbeats(t *testing.T) {
 	var m gcs.Monitor

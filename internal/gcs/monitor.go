@@ -13,10 +13,25 @@ import (
 // would alarm on — exactly what the paper's stealthy attack must avoid
 // tripping.
 type Monitor struct {
+	// TolerateLinkLoss adapts the verdict to a lossy datagram transport
+	// (internal/netlink): UDP loses whole record-aligned datagrams, so a
+	// pulse sequence discontinuity with otherwise well-formed traffic is
+	// link loss, not evidence of compromise. In this mode gaps are
+	// counted in LinkGaps and excluded from CompromiseDetected; the
+	// compromise signal the paper relies on becomes vehicle silence
+	// (VehicleSilent) plus garbage/corrupt frames, which packet loss on
+	// a record-aligned link cannot produce. The default (false) keeps
+	// the strict serial-link rule.
+	TolerateLinkLoss bool
+
 	// Pulses is the count of well-formed pulses seen.
 	Pulses int
-	// SeqGaps counts discontinuities in the pulse sequence number.
+	// SeqGaps counts discontinuities in the pulse sequence number
+	// treated as anomalies (strict mode).
 	SeqGaps int
+	// LinkGaps counts discontinuities attributed to datagram loss
+	// (TolerateLinkLoss mode).
+	LinkGaps int
 	// Garbage counts bytes that fit neither stream.
 	Garbage int
 	// MaxSilence is the longest observed downlink gap.
@@ -101,7 +116,11 @@ func (m *Monitor) feedByte(b byte) {
 		if len(m.pulse) == firmware.PulseSize-1 {
 			seq, gyro, heading := m.pulse[0], m.pulse[1], m.pulse[2]
 			if m.started && seq != m.expectSeq {
-				m.SeqGaps++
+				if m.TolerateLinkLoss {
+					m.LinkGaps++
+				} else {
+					m.SeqGaps++
+				}
 			}
 			m.started = true
 			m.expectSeq = seq + 1
@@ -161,8 +180,8 @@ func (m *Monitor) handleFrame(f *mavlink.Frame) {
 
 // CompromiseDetected applies the ground station's detection rule: any
 // garbage or corrupt heartbeat on the link, a pulse sequence
-// discontinuity, a non-active MAV_STATE, or silence longer than the
-// threshold.
+// discontinuity (unless attributed to link loss, see TolerateLinkLoss),
+// a non-active MAV_STATE, or silence longer than the threshold.
 func (m *Monitor) CompromiseDetected(silenceThreshold time.Duration) bool {
 	if m.Garbage > 0 || m.SeqGaps > 0 || m.HeartbeatErrors > 0 {
 		return true
@@ -170,5 +189,15 @@ func (m *Monitor) CompromiseDetected(silenceThreshold time.Duration) bool {
 	if m.Heartbeats > 0 && m.LastStatus != mavlink.StateActive {
 		return true
 	}
-	return m.MaxSilence > silenceThreshold
+	return m.VehicleSilent(silenceThreshold)
+}
+
+// VehicleSilent reports the paper's compromise signal on its own: the
+// vehicle stopped producing telemetry for longer than the threshold.
+// Unlike sequence gaps, silence survives a lossy link — a healthy
+// vehicle keeps transmitting through packet loss, so prolonged silence
+// (measured against the feeder's clock) means the vehicle itself, not
+// the link, went quiet.
+func (m *Monitor) VehicleSilent(threshold time.Duration) bool {
+	return m.MaxSilence > threshold
 }

@@ -1,0 +1,42 @@
+package mavlink
+
+// Batching helpers for datagram transports (internal/netlink): a UDP
+// datagram carries one or more complete frames back to back, so the
+// sender packs with MarshalBatch/AppendMarshal and the receiver
+// recovers the frames with SplitBatch without running the incremental
+// byte-stream Parser.
+
+// MarshalBatch concatenates the wire encodings of frames into one
+// buffer, suitable as a single datagram payload. It fails on the first
+// oversize payload, returning what was packed so far.
+func MarshalBatch(frames []*Frame) ([]byte, error) {
+	size := 0
+	for _, f := range frames {
+		size += 8 + len(f.Payload)
+	}
+	out := make([]byte, 0, size)
+	for _, f := range frames {
+		var err error
+		out, err = f.AppendMarshal(out)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// SplitBatch parses a buffer of back-to-back conformant frames (the
+// inverse of MarshalBatch). It returns the frames decoded before the
+// first error; a nil error means the buffer was consumed exactly.
+func SplitBatch(data []byte) ([]*Frame, error) {
+	var out []*Frame
+	for off := 0; off < len(data); {
+		f, n, err := Unmarshal(data[off:])
+		if err != nil {
+			return out, err
+		}
+		out = append(out, f)
+		off += n
+	}
+	return out, nil
+}

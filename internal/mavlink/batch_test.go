@@ -1,0 +1,93 @@
+package mavlink_test
+
+import (
+	"bytes"
+	"testing"
+
+	"mavr/internal/mavlink"
+)
+
+func testFrames() []*mavlink.Frame {
+	hb := &mavlink.Heartbeat{Type: 1, Autopilot: 3, SystemStatus: mavlink.StateActive, MavlinkVersion: 3}
+	var frames []*mavlink.Frame
+	for i := 0; i < 5; i++ {
+		frames = append(frames, &mavlink.Frame{
+			MsgID:   mavlink.MsgIDHeartbeat,
+			SysID:   1,
+			CompID:  1,
+			Seq:     byte(i),
+			Payload: hb.Marshal(),
+		})
+	}
+	return frames
+}
+
+func TestMarshalBatchRoundTrip(t *testing.T) {
+	frames := testFrames()
+	wire, err := mavlink.MarshalBatch(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mavlink.SplitBatch(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("split %d frames, want %d", len(got), len(frames))
+	}
+	for i, f := range got {
+		if f.Seq != frames[i].Seq || f.MsgID != frames[i].MsgID {
+			t.Errorf("frame %d: seq=%d msgid=%d", i, f.Seq, f.MsgID)
+		}
+		if !bytes.Equal(f.Payload, frames[i].Payload) {
+			t.Errorf("frame %d payload mismatch", i)
+		}
+	}
+}
+
+func TestAppendMarshalMatchesMarshal(t *testing.T) {
+	f := testFrames()[0]
+	single, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended, err := f.AppendMarshal([]byte{0xAA, 0xBB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(appended[:2], []byte{0xAA, 0xBB}) {
+		t.Fatal("prefix clobbered")
+	}
+	if !bytes.Equal(appended[2:], single) {
+		t.Fatalf("append encoding differs from Marshal:\n%x\n%x", appended[2:], single)
+	}
+}
+
+func TestAppendMarshalRefusesOversize(t *testing.T) {
+	f := &mavlink.Frame{MsgID: mavlink.MsgIDParamSet, Payload: make([]byte, 300)}
+	dst := []byte{1, 2, 3}
+	out, err := f.AppendMarshal(dst)
+	if err != mavlink.ErrTooLong {
+		t.Fatalf("err = %v, want mavlink.ErrTooLong", err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("dst grew to %d bytes on refusal", len(out))
+	}
+}
+
+func TestSplitBatchStopsAtCorruption(t *testing.T) {
+	wire, err := mavlink.MarshalBatch(testFrames()[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the second frame's checksum.
+	frameLen := len(wire) / 3
+	wire[frameLen+frameLen-1] ^= 0xFF
+	got, err := mavlink.SplitBatch(wire)
+	if err == nil {
+		t.Fatal("corruption not reported")
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d frames before the corruption, want 1", len(got))
+	}
+}

@@ -1,0 +1,63 @@
+package mavlink_test
+
+import (
+	"testing"
+
+	"mavr/internal/mavlink"
+)
+
+// BenchmarkFrameEncode measures the hot sender path: packing a
+// heartbeat frame into a reused datagram buffer.
+func BenchmarkFrameEncode(b *testing.B) {
+	hb := &mavlink.Heartbeat{Type: 1, Autopilot: 3, SystemStatus: mavlink.StateActive, MavlinkVersion: 3}
+	f := &mavlink.Frame{MsgID: mavlink.MsgIDHeartbeat, SysID: 1, CompID: 1, Payload: hb.Marshal()}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = f.AppendMarshal(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkFrameParse measures the receiver path: the incremental
+// byte-stream parser over a batch of conformant frames.
+func BenchmarkFrameParse(b *testing.B) {
+	wire, err := mavlink.MarshalBatch(testFrames())
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := len(testFrames())
+	p := &mavlink.Parser{StrictLength: true}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.FeedBytes(wire); len(got) != want {
+			b.Fatalf("parsed %d frames, want %d", len(got), want)
+		}
+	}
+}
+
+// BenchmarkBatchSplit measures the datagram fast path used by netlink:
+// whole-frame decode without the byte-at-a-time state machine.
+func BenchmarkBatchSplit(b *testing.B) {
+	wire, err := mavlink.MarshalBatch(testFrames())
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := len(testFrames())
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := mavlink.SplitBatch(wire)
+		if err != nil || len(got) != want {
+			b.Fatalf("split %d frames, err=%v", len(got), err)
+		}
+	}
+}

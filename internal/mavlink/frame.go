@@ -126,7 +126,7 @@ func (f *Frame) Marshal() ([]byte, error) {
 	if len(f.Payload) > MaxPayload {
 		return nil, ErrTooLong
 	}
-	return f.marshal(byte(len(f.Payload)), len(f.Payload)), nil
+	return f.appendTo(make([]byte, 0, 8+len(f.Payload))), nil
 }
 
 // MarshalOversize serializes a frame whose payload may exceed 255
@@ -135,19 +135,30 @@ func (f *Frame) Marshal() ([]byte, error) {
 // vulnerable (length-check-disabled) decoder while still carrying a
 // valid checksum over the declared prefix.
 func (f *Frame) MarshalOversize() []byte {
-	return f.marshal(byte(len(f.Payload)), len(f.Payload))
+	return f.appendTo(make([]byte, 0, 8+len(f.Payload)))
 }
 
-func (f *Frame) marshal(lenByte byte, payloadLen int) []byte {
-	out := make([]byte, 0, 8+payloadLen)
-	out = append(out, Magic, lenByte, f.Seq, f.SysID, f.CompID, f.MsgID)
+// AppendMarshal appends the frame's wire encoding to dst and returns
+// the extended slice, amortizing allocation when packing many frames
+// into one buffer (a netlink datagram). Oversize payloads are refused
+// as in Marshal.
+func (f *Frame) AppendMarshal(dst []byte) ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return dst, ErrTooLong
+	}
+	return f.appendTo(dst), nil
+}
+
+func (f *Frame) appendTo(out []byte) []byte {
+	start := len(out)
+	out = append(out, Magic, byte(len(f.Payload)), f.Seq, f.SysID, f.CompID, f.MsgID)
 	out = append(out, f.Payload...)
-	crc := CRC(out[1:]) // magic byte excluded per spec
+	crc := CRC(out[start+1:]) // magic byte excluded per spec
 	if extra, ok := crcExtra[f.MsgID]; ok {
 		crc = CRCAccumulate(extra, crc)
 	}
 	f.Checksum = crc
-	f.Len = lenByte
+	f.Len = byte(len(f.Payload))
 	return append(out, byte(crc), byte(crc>>8))
 }
 

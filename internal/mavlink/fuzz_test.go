@@ -1,0 +1,63 @@
+package mavlink
+
+import (
+	"bytes"
+	"testing"
+)
+
+// maxPending is the most bytes the parser can be holding mid-frame:
+// a 5-byte header plus the largest body (255-byte payload + 2-byte
+// checksum, from a length byte of 255).
+const maxPending = 5 + MaxPayload + 2
+
+// FuzzParser feeds arbitrary byte streams to the incremental frame
+// parser. Invariants: no panics, the internal buffer stays bounded,
+// and the parser always resynchronizes — after at most maxPending
+// bytes of padding, a valid frame on the wire is decoded.
+func FuzzParser(f *testing.F) {
+	hb := &Heartbeat{Type: 1, Autopilot: 3, SystemStatus: StateActive, MavlinkVersion: 3}
+	valid, err := (&Frame{MsgID: MsgIDHeartbeat, SysID: 1, CompID: 1, Payload: hb.Marshal()}).Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                       // truncated frame
+	f.Add(append([]byte{0x00, Magic, 0xFF}, valid...)) // garbage + magic tease
+	f.Add(bytes.Repeat([]byte{Magic}, 300))            // magic storm
+	f.Add(append(append([]byte(nil), valid...), valid...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := &Parser{StrictLength: true}
+		for _, b := range data {
+			fr := p.Feed(b)
+			if fr != nil && int(fr.Len) != len(fr.Payload) {
+				t.Fatalf("frame with Len=%d but %d payload bytes", fr.Len, len(fr.Payload))
+			}
+			if len(p.buf) > maxPending {
+				t.Fatalf("parser buffer grew to %d bytes", len(p.buf))
+			}
+		}
+
+		// Resync: zero padding completes (and fails) any pending frame —
+		// zeros never start a new one — after which a valid frame on the
+		// wire must decode.
+		for i := 0; i < maxPending; i++ {
+			p.Feed(0)
+		}
+		before := p.Stats().Frames
+		var got *Frame
+		for _, b := range valid {
+			if fr := p.Feed(b); fr != nil {
+				got = fr
+			}
+		}
+		if got == nil || p.Stats().Frames != before+1 {
+			t.Fatalf("parser did not resynchronize after %d bytes of garbage", len(data))
+		}
+		if got.MsgID != MsgIDHeartbeat {
+			t.Fatalf("resynced to msgid %d", got.MsgID)
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package netlink
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// BenchmarkNetlinkRoundTrip measures one encode → UDP send → receive →
+// decode cycle through the loopback interface: the per-datagram floor
+// of the transport itself, without board emulation on top.
+func BenchmarkNetlinkRoundTrip(b *testing.B) {
+	echoConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer echoConn.Close()
+	go func() {
+		buf := make([]byte, 1<<16)
+		for {
+			n, addr, err := echoConn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			echoConn.WriteToUDP(buf[:n], addr)
+		}
+	}()
+
+	conn, err := net.DialUDP("udp", nil, echoConn.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+
+	payload := make([]byte, 256) // ~a tick's worth of telemetry records
+	buf := make([]byte, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := Encode(Header{Type: PacketData, SysID: 1, Seq: uint32(i), SimTime: time.Second}, payload)
+		if _, err := conn.Write(pkt); err != nil {
+			b.Fatal(err)
+		}
+		n, err := conn.Read(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := Decode(buf[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(HeaderSize + len(payload)))
+}

@@ -1,0 +1,232 @@
+package netlink
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"mavr/internal/gcs"
+	"mavr/internal/mavlink"
+)
+
+// ClientConfig tunes a ground-station client.
+type ClientConfig struct {
+	// SysID is the vehicle to watch (1-based fleet system id).
+	SysID byte
+	// Keepalive is the hello interval maintaining the session (wall
+	// clock; default 500ms).
+	Keepalive time.Duration
+	// Rate estimates vehicle sim time during total downlink loss, in
+	// simulated seconds per wall second. 0 (the default) disables the
+	// estimate: silence is then measured purely from the sim clocks
+	// carried by received datagrams (time beacons keep arriving from a
+	// live fleet even when a vehicle's application has crashed).
+	Rate float64
+	// Strict disables the monitor's link-loss tolerance (not useful on
+	// UDP; exists for experiments contrasting the serial-link rule).
+	Strict bool
+}
+
+// Client is one ground station's view of one vehicle over UDP: it
+// maintains the session, feeds received telemetry records to a
+// gcs.Monitor (in link-loss-tolerant mode) and transmits uplink
+// frames, including the paper's oversize attack frames.
+type Client struct {
+	cfg   ClientConfig
+	conn  *net.UDPConn
+	stats LinkStats
+
+	mu          sync.Mutex
+	mon         gcs.Monitor
+	txSeq       uint32
+	frameSeq    byte
+	rxInit      bool
+	rxNext      uint32
+	lastSim     time.Duration
+	lastArrival time.Time
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// DialClient connects to a fleet server and starts the receive and
+// keepalive loops. The session is established by the first hello; the
+// server starts streaming that vehicle's telemetry on its next tick.
+func DialClient(addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.SysID == 0 {
+		cfg.SysID = 1
+	}
+	if cfg.Keepalive <= 0 {
+		cfg.Keepalive = 500 * time.Millisecond
+	}
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.SetReadBuffer(1 << 20)
+	c := &Client{cfg: cfg, conn: conn, stop: make(chan struct{})}
+	c.mon.TolerateLinkLoss = !cfg.Strict
+	c.sendDatagram(PacketHello, nil)
+
+	c.wg.Add(2)
+	go c.recvLoop()
+	go c.keepaliveLoop()
+	return c, nil
+}
+
+// SendFrame assigns the session's MAVLink sequence number and
+// transmits the frame on the uplink. Oversize payloads are permitted —
+// a malicious station does not respect the 255-byte limit (the frame
+// is marshaled with MarshalOversize, exactly like the in-process
+// gcs.GroundStation.SendFrame path).
+func (c *Client) SendFrame(f *mavlink.Frame) {
+	c.mu.Lock()
+	f.Seq = c.frameSeq
+	c.frameSeq++
+	c.mu.Unlock()
+	c.sendDatagram(PacketData, f.MarshalOversize())
+}
+
+// SendRaw transmits arbitrary uplink bytes (fuzzing, malformed
+// traffic).
+func (c *Client) SendRaw(payload []byte) {
+	c.sendDatagram(PacketData, payload)
+}
+
+func (c *Client) sendDatagram(t PacketType, payload []byte) {
+	c.mu.Lock()
+	seq := c.txSeq
+	c.txSeq++
+	c.mu.Unlock()
+	pkt := Encode(Header{Type: t, SysID: c.cfg.SysID, Seq: seq}, payload)
+	if _, err := c.conn.Write(pkt); err == nil {
+		c.stats.DatagramsOut.Add(1)
+		c.stats.BytesOut.Add(uint64(len(pkt)))
+	}
+}
+
+// Monitor returns a copy of the ground-station monitor state.
+func (c *Client) Monitor() gcs.Monitor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon
+}
+
+// Stats returns the client-side link counters.
+func (c *Client) Stats() LinkStatsSnapshot { return c.stats.Snapshot() }
+
+// SimTime returns the vehicle sim clock carried by the latest
+// datagram.
+func (c *Client) SimTime() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSim
+}
+
+// Close sends a graceful bye and stops the loops.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		c.sendDatagram(PacketBye, nil)
+		close(c.stop)
+		c.conn.Close()
+		c.wg.Wait()
+	})
+	return nil
+}
+
+func (c *Client) recvLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 1<<16)
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		_ = c.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				c.feedSilence()
+				continue
+			}
+			select {
+			case <-c.stop:
+				return
+			default:
+				continue
+			}
+		}
+		h, payload, err := Decode(buf[:n])
+		if err != nil || h.SysID != c.cfg.SysID {
+			continue
+		}
+		c.stats.DatagramsIn.Add(1)
+		c.stats.BytesIn.Add(uint64(n))
+		c.trackRx(h.Seq)
+
+		c.mu.Lock()
+		if h.SimTime > c.lastSim {
+			c.lastSim = h.SimTime
+		}
+		c.lastArrival = time.Now()
+		// Feed at the datagram's own sim timestamp: gaps between
+		// received sim clocks measure vehicle silence in simulated
+		// time, immune to host scheduling.
+		c.mon.Feed(payload, c.lastSim)
+		c.mu.Unlock()
+	}
+}
+
+// feedSilence advances the monitor's notion of time while nothing is
+// arriving, so total downlink loss (dead fleet) still registers as
+// silence when a Rate estimate is configured.
+func (c *Client) feedSilence() {
+	if c.cfg.Rate <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if !c.lastArrival.IsZero() {
+		est := c.lastSim + time.Duration(float64(time.Since(c.lastArrival))*c.cfg.Rate)
+		c.mon.Feed(nil, est)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) trackRx(seq uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.rxInit {
+		c.rxInit = true
+		c.rxNext = seq + 1
+		return
+	}
+	switch {
+	case seq == c.rxNext:
+		c.rxNext++
+	case seq > c.rxNext:
+		c.stats.SeqGaps.Add(uint64(seq - c.rxNext))
+		c.rxNext = seq + 1
+	default:
+		c.stats.Reordered.Add(1)
+	}
+}
+
+func (c *Client) keepaliveLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.Keepalive)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.sendDatagram(PacketHello, nil)
+		}
+	}
+}

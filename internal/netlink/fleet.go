@@ -1,0 +1,459 @@
+package netlink
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mavr/internal/board"
+	"mavr/internal/firmware"
+)
+
+// FleetConfig sizes and shapes a Fleet.
+type FleetConfig struct {
+	// Vehicles is the number of hosted UAVs (1..250); they get system
+	// ids 1..Vehicles.
+	Vehicles int
+	// Addr is the UDP listen address (default "127.0.0.1:0").
+	Addr string
+	// Firmware is the image every vehicle flies (default: the
+	// vulnerable test application, MAVR build). The image is shared —
+	// FlashFirmware does not mutate it.
+	Firmware *firmware.Image
+	// Protected boots MAVR boards (master + randomization) instead of
+	// the paper's unprotected attack-target baseline.
+	Protected bool
+	// MasterSeed seeds the per-vehicle randomization (vehicle i adds i).
+	MasterSeed int64
+	// Step is the simulated time advanced per vehicle tick (default
+	// 10ms).
+	Step time.Duration
+	// Rate paces the simulation: simulated seconds per wall second.
+	// 1 is real time; 0 or negative free-runs as fast as the host
+	// allows (used by tests and load generation).
+	Rate float64
+	// Sim impairs every link through the deterministic link simulator.
+	Sim SimConfig
+	// SessionTimeout expires sessions with no uplink datagrams (wall
+	// clock; default 5s).
+	SessionTimeout time.Duration
+	// TimeBeacon is the maximum simulated interval between downlink
+	// datagrams per session: when a vehicle emits no telemetry for this
+	// long (crashed application), an empty datagram still carries its
+	// sim clock so ground stations can measure vehicle silence in
+	// simulated time (default 50ms).
+	TimeBeacon time.Duration
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Vehicles <= 0 {
+		c.Vehicles = 1
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Step <= 0 {
+		c.Step = 10 * time.Millisecond
+	}
+	if c.SessionTimeout <= 0 {
+		c.SessionTimeout = 5 * time.Second
+	}
+	if c.TimeBeacon <= 0 {
+		c.TimeBeacon = 50 * time.Millisecond
+	}
+	return c
+}
+
+// VehicleSnapshot is a race-free view of a vehicle, refreshed by its
+// driver goroutine once per tick.
+type VehicleSnapshot struct {
+	SysID     byte
+	SimTime   time.Duration
+	Ticks     uint64
+	Running   bool
+	GyroCfg   byte
+	Reflashes int
+}
+
+// Vehicle is one hosted UAV: a board.System plus its downlink
+// packetization state. Sys must only be touched directly once the
+// fleet is closed (the driver goroutine owns it while running); use
+// Snapshot for live observation.
+type Vehicle struct {
+	SysID byte
+	Sys   *board.System
+
+	splitter   StreamSplitter
+	lastBeacon time.Duration
+	ticks      uint64
+	snap       atomic.Value // VehicleSnapshot
+	runErr     atomic.Value // error
+}
+
+// Snapshot returns the vehicle's last published state.
+func (v *Vehicle) Snapshot() VehicleSnapshot {
+	s, _ := v.snap.Load().(VehicleSnapshot)
+	return s
+}
+
+// Err returns the simulation error that stopped the vehicle, if any.
+func (v *Vehicle) Err() error {
+	err, _ := v.runErr.Load().(error)
+	return err
+}
+
+func (v *Vehicle) publish() {
+	v.snap.Store(VehicleSnapshot{
+		SysID:     v.SysID,
+		SimTime:   v.Sys.Now(),
+		Ticks:     v.ticks,
+		Running:   v.Sys.App.Running(),
+		GyroCfg:   v.Sys.App.CPU.Data[firmware.AddrGyroCfg],
+		Reflashes: len(v.Sys.Reflashes()),
+	})
+}
+
+// Fleet hosts N simulated UAVs behind one UDP socket: per-vehicle
+// driver goroutines advance the boards, a read loop demultiplexes
+// uplink datagrams into per-session state and vehicle uplinks, and
+// downlink telemetry is packetized on record boundaries and fanned out
+// to every subscribed session (through the link simulator).
+type Fleet struct {
+	cfg      FleetConfig
+	conn     *net.UDPConn
+	send     *sender
+	vehicles []*Vehicle
+	sessions *sessionTable
+
+	badDatagrams atomic.Uint64
+	started      time.Time
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// NewFleet builds, flashes and boots the vehicles. Call Start to bind
+// the socket and begin flying.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Vehicles > 250 {
+		return nil, fmt.Errorf("netlink: %d vehicles exceed the 250 system ids", cfg.Vehicles)
+	}
+	img := cfg.Firmware
+	if img == nil {
+		var err error
+		img, err = firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f := &Fleet{
+		cfg:      cfg,
+		sessions: newSessionTable(),
+		stop:     make(chan struct{}),
+	}
+	for i := 0; i < cfg.Vehicles; i++ {
+		sysCfg := board.SystemConfig{Unprotected: true}
+		if cfg.Protected {
+			sysCfg = board.SystemConfig{Master: board.MasterConfig{
+				Seed:            cfg.MasterSeed + int64(i),
+				WatchdogTimeout: 20 * time.Millisecond,
+			}}
+		}
+		sys := board.NewSystem(sysCfg)
+		if err := sys.FlashFirmware(img); err != nil {
+			return nil, fmt.Errorf("vehicle %d: flash: %w", i+1, err)
+		}
+		if _, err := sys.Boot(); err != nil {
+			return nil, fmt.Errorf("vehicle %d: boot: %w", i+1, err)
+		}
+		v := &Vehicle{SysID: byte(i + 1), Sys: sys}
+		v.publish()
+		f.vehicles = append(f.vehicles, v)
+	}
+	return f, nil
+}
+
+// Start binds the UDP socket and launches the read loop, the session
+// reaper and one driver goroutine per vehicle.
+func (f *Fleet) Start() error {
+	addr, err := net.ResolveUDPAddr("udp", f.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return err
+	}
+	_ = conn.SetReadBuffer(1 << 20)
+	_ = conn.SetWriteBuffer(1 << 20)
+	f.conn = conn
+	f.send = newSender(conn)
+	f.started = time.Now()
+
+	f.wg.Add(1)
+	go f.readLoop()
+
+	f.wg.Add(1)
+	go f.reapLoop()
+
+	for _, v := range f.vehicles {
+		f.wg.Add(1)
+		go f.driveVehicle(v)
+	}
+	return nil
+}
+
+// Addr returns the bound UDP address (valid after Start).
+func (f *Fleet) Addr() *net.UDPAddr { return f.conn.LocalAddr().(*net.UDPAddr) }
+
+// Vehicle returns the hosted vehicle with the given system id, or nil.
+func (f *Fleet) Vehicle(sysID byte) *Vehicle {
+	if sysID < 1 || int(sysID) > len(f.vehicles) {
+		return nil
+	}
+	return f.vehicles[sysID-1]
+}
+
+// Vehicles returns all hosted vehicles.
+func (f *Fleet) Vehicles() []*Vehicle { return f.vehicles }
+
+// Sessions returns the number of live GCS sessions.
+func (f *Fleet) Sessions() int { return f.sessions.count() }
+
+// Close stops all goroutines and releases the socket. After Close
+// returns, vehicle state (Vehicle.Sys) may be inspected directly.
+func (f *Fleet) Close() error {
+	f.closeMu.Lock()
+	defer f.closeMu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	close(f.stop)
+	if f.conn != nil {
+		f.conn.Close() // unblocks the read loop
+	}
+	f.wg.Wait()
+	if f.send != nil {
+		f.send.close()
+	}
+	return nil
+}
+
+// driveVehicle advances one board at the configured rate, packetizes
+// its downlink on record boundaries and fans datagrams out to the
+// vehicle's subscribers.
+func (f *Fleet) driveVehicle(v *Vehicle) {
+	defer f.wg.Done()
+	simStart := v.Sys.Now()
+	wallStart := time.Now()
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+
+		if f.cfg.Rate > 0 {
+			// Sleep until the wall clock catches up with the sim clock.
+			simElapsed := v.Sys.Now() - simStart
+			due := wallStart.Add(time.Duration(float64(simElapsed) / f.cfg.Rate))
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-f.stop:
+					return
+				case <-time.After(d):
+				}
+			}
+		}
+
+		if err := v.Sys.Run(f.cfg.Step); err != nil {
+			v.runErr.Store(err)
+			v.publish()
+			return
+		}
+		v.ticks++
+		now := v.Sys.Now()
+
+		records := v.splitter.Feed(v.Sys.DrainGCS())
+		subs := f.sessions.subscribers(v.SysID)
+		if len(records) > 0 && len(subs) > 0 {
+			payloads := packRecords(records, MaxDatagram-HeaderSize)
+			for _, sess := range subs {
+				sess.stats.RecordsOut.Add(uint64(len(records)))
+				for _, p := range payloads {
+					f.sendDownlink(sess, now, p)
+				}
+			}
+			v.lastBeacon = now
+		} else if now-v.lastBeacon >= f.cfg.TimeBeacon {
+			// No telemetry: still carry the sim clock so ground stations
+			// can tell vehicle silence from link loss.
+			for _, sess := range subs {
+				f.sendDownlink(sess, now, nil)
+			}
+			v.lastBeacon = now
+		}
+		v.publish()
+	}
+}
+
+// sendDownlink wraps one payload for one session and transmits it
+// through the link simulator.
+func (f *Fleet) sendDownlink(sess *session, simNow time.Duration, payload []byte) {
+	seq := sess.txSeq
+	sess.txSeq++
+	pkt := Encode(Header{Type: PacketData, SysID: sess.sysID, Seq: seq, SimTime: simNow}, payload)
+
+	if !f.cfg.Sim.Active() {
+		sess.stats.DatagramsOut.Add(1)
+		sess.stats.BytesOut.Add(uint64(len(pkt)))
+		f.send.send(sess.addr, pkt, 0)
+		return
+	}
+	fate := f.cfg.Sim.Fate(downLink(sess.sysID), seq)
+	if fate.Drop {
+		sess.stats.SimDropped.Add(1)
+		return
+	}
+	if fate.Copies > 1 {
+		sess.stats.SimDuplicated.Add(uint64(fate.Copies - 1))
+	}
+	if fate.Delay > 0 {
+		sess.stats.SimDelayed.Add(1)
+	}
+	for i := 0; i < fate.Copies; i++ {
+		sess.stats.DatagramsOut.Add(1)
+		sess.stats.BytesOut.Add(uint64(len(pkt)))
+		f.send.send(sess.addr, pkt, fate.Delay)
+	}
+}
+
+// downLink and upLink name a vehicle's radio directions for the link
+// simulator. Ephemeral peer ports are deliberately excluded so the
+// impairment schedule is reproducible across runs.
+func downLink(sysID byte) string { return fmt.Sprintf("v%d/down", sysID) }
+func upLink(sysID byte) string   { return fmt.Sprintf("v%d/up", sysID) }
+
+// readLoop demultiplexes uplink datagrams: session bookkeeping, link
+// counters, and raw payload forwarding onto the vehicle's serial
+// uplink.
+func (f *Fleet) readLoop() {
+	defer f.wg.Done()
+	buf := make([]byte, 1<<16)
+	for {
+		n, addr, err := f.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-f.stop:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		h, payload, err := Decode(buf[:n])
+		if err != nil || f.Vehicle(h.SysID) == nil {
+			f.badDatagrams.Add(1)
+			continue
+		}
+		now := time.Now()
+		sess, existed := f.sessions.lookup(addr, h.SysID, now)
+		sess.touch(now)
+		if !existed && h.Type == PacketBye {
+			f.sessions.remove(sess)
+			continue
+		}
+
+		switch h.Type {
+		case PacketBye:
+			f.sessions.remove(sess)
+		case PacketHello:
+			// Session creation/refresh is all a hello does.
+		case PacketData:
+			sess.trackRx(h.Seq)
+			sess.stats.DatagramsIn.Add(1)
+			sess.stats.BytesIn.Add(uint64(n))
+			if len(payload) == 0 {
+				break
+			}
+			if f.cfg.Sim.Active() {
+				fate := f.cfg.Sim.Fate(upLink(h.SysID), h.Seq)
+				if fate.Drop {
+					sess.stats.SimDropped.Add(1)
+					break
+				}
+			}
+			sess.parser.feed(payload, &sess.stats)
+			f.vehicles[h.SysID-1].Sys.SendToUAV(payload)
+		default:
+			f.badDatagrams.Add(1)
+		}
+	}
+}
+
+// reapLoop expires idle sessions on the wall clock.
+func (f *Fleet) reapLoop() {
+	defer f.wg.Done()
+	interval := f.cfg.SessionTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case now := <-ticker.C:
+			f.sessions.expire(now, f.cfg.SessionTimeout)
+		}
+	}
+}
+
+// ExpiredSessions returns how many sessions the reaper has dropped.
+func (f *Fleet) ExpiredSessions() uint64 { return f.sessions.expired.Load() }
+
+// MetricsText renders fleet, per-vehicle and per-link counters as a
+// plain-text block (one "name value" pair per line, sorted), the
+// format served by cmd/mavr-fleetd's -metrics endpoint.
+func (f *Fleet) MetricsText() string {
+	lines := []string{
+		fmt.Sprintf("fleet.vehicles %d", len(f.vehicles)),
+		fmt.Sprintf("fleet.sessions %d", f.sessions.count()),
+		fmt.Sprintf("fleet.sessions_expired %d", f.sessions.expired.Load()),
+		fmt.Sprintf("fleet.bad_datagrams %d", f.badDatagrams.Load()),
+		fmt.Sprintf("fleet.uptime_ms %d", time.Since(f.started).Milliseconds()),
+	}
+	for _, v := range f.vehicles {
+		s := v.Snapshot()
+		p := fmt.Sprintf("vehicle.%d", v.SysID)
+		lines = append(lines,
+			fmt.Sprintf("%s.simtime_ms %d", p, s.SimTime.Milliseconds()),
+			fmt.Sprintf("%s.ticks %d", p, s.Ticks),
+			fmt.Sprintf("%s.running %d", p, b2i(s.Running)),
+			fmt.Sprintf("%s.gyrocfg %d", p, s.GyroCfg),
+			fmt.Sprintf("%s.reflashes %d", p, s.Reflashes),
+		)
+	}
+	for _, sess := range f.sessions.all() {
+		prefix := fmt.Sprintf("link.%s", sess.key)
+		lines = append(lines, sess.stats.Snapshot().metricsLines(prefix)...)
+	}
+	return formatMetrics(lines)
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

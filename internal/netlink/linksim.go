@@ -1,0 +1,86 @@
+package netlink
+
+import "time"
+
+// SimConfig describes the impairments of a simulated radio link. The
+// zero value is a perfect link.
+type SimConfig struct {
+	// Seed selects the impairment schedule. Two links with the same
+	// seed, link name and sequence numbers see the same schedule.
+	Seed int64
+	// DropRate is the datagram loss probability in [0, 1].
+	DropRate float64
+	// DupRate is the probability a datagram is delivered twice.
+	DupRate float64
+	// Latency delays every datagram by this base amount.
+	Latency time.Duration
+	// Jitter adds a uniform [0, Jitter) extra delay per datagram;
+	// inverted delays between consecutive datagrams are what produce
+	// reordering.
+	Jitter time.Duration
+}
+
+// Active reports whether the simulator would alter traffic at all.
+func (c SimConfig) Active() bool {
+	return c.DropRate > 0 || c.DupRate > 0 || c.Latency > 0 || c.Jitter > 0
+}
+
+// Fate is the scheduled treatment of one datagram.
+type Fate struct {
+	// Drop discards the datagram entirely.
+	Drop bool
+	// Copies is the number of deliveries (1 normally, 2 when
+	// duplicated); 0 when dropped.
+	Copies int
+	// Delay is the injected latency before (each) delivery.
+	Delay time.Duration
+}
+
+// Fate returns the treatment of datagram seq on the named link. It is
+// a pure function of (Seed, link, seq): no shared RNG state, so the
+// schedule is reproducible regardless of how many goroutines or
+// vehicles interleave their sends, across runs and worker counts.
+// Link names identify a direction of a vehicle's radio (e.g.
+// "v7/down"), deliberately excluding ephemeral peer ports.
+func (c SimConfig) Fate(link string, seq uint32) Fate {
+	if !c.Active() {
+		return Fate{Copies: 1}
+	}
+	base := splitmix64(uint64(c.Seed)) ^ fnv64(link) ^ (uint64(seq) * 0x9E3779B97F4A7C15)
+	if c.DropRate > 0 && unit(splitmix64(base+1)) < c.DropRate {
+		return Fate{Drop: true}
+	}
+	f := Fate{Copies: 1}
+	if c.DupRate > 0 && unit(splitmix64(base+2)) < c.DupRate {
+		f.Copies = 2
+	}
+	f.Delay = c.Latency
+	if c.Jitter > 0 {
+		f.Delay += time.Duration(unit(splitmix64(base+3)) * float64(c.Jitter))
+	}
+	return f
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed
+// hash of the per-datagram key.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// fnv64 hashes the link name (FNV-1a).
+func fnv64(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// unit maps a hash to [0, 1).
+func unit(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}

@@ -1,0 +1,98 @@
+package netlink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Datagram header layout (big endian):
+//
+//	offset 0  magic   "MV"
+//	offset 2  version 1 byte
+//	offset 3  type    1 byte (hello / data / bye)
+//	offset 4  sysid   1 byte (vehicle the datagram concerns)
+//	offset 5  seq     4 bytes (per-direction link sequence number)
+//	offset 9  simtime 8 bytes (vehicle sim clock, ns; 0 on the uplink)
+//	offset 17 payload (telemetry records downlink, raw frame bytes uplink)
+const (
+	magic0 = 'M'
+	magic1 = 'V'
+
+	// Version is the wire protocol version.
+	Version = 1
+
+	// HeaderSize is the fixed datagram header length.
+	HeaderSize = 17
+
+	// MaxDatagram caps the datagrams the fleet server emits; the
+	// receive path accepts anything up to the UDP maximum (an attacking
+	// station's oversize frames do not respect MTU niceties).
+	MaxDatagram = 1400
+)
+
+// PacketType discriminates datagrams.
+type PacketType byte
+
+const (
+	// PacketHello opens or refreshes a session (also the keepalive).
+	PacketHello PacketType = 1
+	// PacketData carries telemetry records or uplink frame bytes.
+	PacketData PacketType = 2
+	// PacketBye closes a session gracefully.
+	PacketBye PacketType = 3
+)
+
+// Header is a decoded datagram header.
+type Header struct {
+	Type    PacketType
+	SysID   byte
+	Seq     uint32
+	SimTime time.Duration
+}
+
+// Header decoding errors.
+var (
+	ErrShortDatagram = errors.New("netlink: datagram shorter than header")
+	ErrBadProtoMagic = errors.New("netlink: bad datagram magic")
+	ErrBadVersion    = errors.New("netlink: unsupported protocol version")
+)
+
+// AppendHeader appends the encoded header to dst.
+func AppendHeader(dst []byte, h Header) []byte {
+	var buf [HeaderSize]byte
+	buf[0], buf[1], buf[2] = magic0, magic1, Version
+	buf[3] = byte(h.Type)
+	buf[4] = h.SysID
+	binary.BigEndian.PutUint32(buf[5:9], h.Seq)
+	binary.BigEndian.PutUint64(buf[9:17], uint64(h.SimTime))
+	return append(dst, buf[:]...)
+}
+
+// Encode builds a full datagram from a header and payload.
+func Encode(h Header, payload []byte) []byte {
+	out := AppendHeader(make([]byte, 0, HeaderSize+len(payload)), h)
+	return append(out, payload...)
+}
+
+// Decode splits a received datagram into header and payload. The
+// payload aliases pkt; copy it before the receive buffer is reused.
+func Decode(pkt []byte) (Header, []byte, error) {
+	if len(pkt) < HeaderSize {
+		return Header{}, nil, ErrShortDatagram
+	}
+	if pkt[0] != magic0 || pkt[1] != magic1 {
+		return Header{}, nil, ErrBadProtoMagic
+	}
+	if pkt[2] != Version {
+		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, pkt[2])
+	}
+	h := Header{
+		Type:    PacketType(pkt[3]),
+		SysID:   pkt[4],
+		Seq:     binary.BigEndian.Uint32(pkt[5:9]),
+		SimTime: time.Duration(binary.BigEndian.Uint64(pkt[9:17])),
+	}
+	return h, pkt[HeaderSize:], nil
+}

@@ -1,0 +1,105 @@
+package netlink
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"mavr/internal/mavlink"
+)
+
+func mustHeartbeatWire(t testing.TB) []byte {
+	t.Helper()
+	hb := &mavlink.Heartbeat{Type: 1, Autopilot: 3, SystemStatus: mavlink.StateActive, MavlinkVersion: 3}
+	wire, err := (&mavlink.Frame{MsgID: mavlink.MsgIDHeartbeat, SysID: 1, CompID: 1, Payload: hb.Marshal()}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Type: PacketData, SysID: 42, Seq: 0xDEADBEEF, SimTime: 1500 * time.Millisecond}
+	payload := []byte{1, 2, 3, 4}
+	pkt := Encode(h, payload)
+	if len(pkt) != HeaderSize+len(payload) {
+		t.Fatalf("datagram length %d", len(pkt))
+	}
+	got, gotPayload, err := Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("header round trip: %+v != %+v", got, h)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Errorf("payload round trip: %x", gotPayload)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	if _, _, err := Decode([]byte{magic0, magic1}); !errors.Is(err, ErrShortDatagram) {
+		t.Errorf("short datagram: %v", err)
+	}
+	pkt := Encode(Header{Type: PacketHello, SysID: 1}, nil)
+	pkt[0] = 'X'
+	if _, _, err := Decode(pkt); !errors.Is(err, ErrBadProtoMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	pkt[0] = magic0
+	pkt[2] = 99
+	if _, _, err := Decode(pkt); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+}
+
+func TestSplitterSegmentsMixedStream(t *testing.T) {
+	var s StreamSplitter
+	pulse := []byte{0xA5, 7, 10, 3} // firmware.PulseMagic
+	hbFrame := mustHeartbeatWire(t)
+	stream := append(append(append([]byte{}, pulse...), hbFrame...), pulse...)
+	stream = append(stream, 0xEE) // stray byte
+	stream = append(stream, pulse[:2]...)
+
+	// Feed one byte at a time: records must come out whole regardless
+	// of chunking.
+	var records [][]byte
+	for _, b := range stream {
+		records = append(records, s.Feed([]byte{b})...)
+	}
+	if len(records) != 4 {
+		t.Fatalf("got %d records, want 4 (pulse, frame, pulse, garbage)", len(records))
+	}
+	if !bytes.Equal(records[0], pulse) || !bytes.Equal(records[2], pulse) {
+		t.Error("pulse records mangled")
+	}
+	if !bytes.Equal(records[1], hbFrame) {
+		t.Error("frame record mangled")
+	}
+	if !bytes.Equal(records[3], []byte{0xEE}) {
+		t.Error("garbage byte not isolated")
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want the 2-byte partial pulse", s.Pending())
+	}
+	// Completing the partial pulse releases it.
+	got := s.Feed(pulse[2:])
+	if len(got) != 1 || !bytes.Equal(got[0], pulse) {
+		t.Errorf("partial pulse not completed: %x", got)
+	}
+}
+
+func TestPackRecordsRespectsLimit(t *testing.T) {
+	records := [][]byte{
+		make([]byte, 40), make([]byte, 40), make([]byte, 40),
+		make([]byte, 200), // oversize record still ships alone
+	}
+	payloads := packRecords(records, 100)
+	if len(payloads) != 3 {
+		t.Fatalf("got %d payloads, want 3", len(payloads))
+	}
+	if len(payloads[0]) != 80 || len(payloads[1]) != 40 || len(payloads[2]) != 200 {
+		t.Errorf("payload sizes: %d %d %d", len(payloads[0]), len(payloads[1]), len(payloads[2]))
+	}
+}

@@ -1,0 +1,184 @@
+package netlink
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mavr/internal/mavlink"
+)
+
+// session is one ground station's subscription to one vehicle, keyed
+// by peer address + system id (the same station may watch several
+// vehicles over one socket, and several stations may watch one
+// vehicle).
+type session struct {
+	key   string
+	addr  *net.UDPAddr
+	sysID byte
+	stats LinkStats
+
+	// lastSeen is the wall time of the last datagram from the peer
+	// (heartbeat-based liveness).
+	lastSeen atomic.Int64
+
+	// txSeq is the downlink sequence number; only the owning vehicle's
+	// goroutine sends, so no further synchronization is needed.
+	txSeq uint32
+
+	// Uplink sequence tracking, touched only by the read loop.
+	rxInit bool
+	rxNext uint32
+	parser uplinkParser
+}
+
+func (s *session) touch(now time.Time) { s.lastSeen.Store(now.UnixNano()) }
+
+func (s *session) idleSince(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, s.lastSeen.Load()))
+}
+
+// trackRx updates uplink sequence accounting for a received datagram.
+func (s *session) trackRx(seq uint32) {
+	if !s.rxInit {
+		s.rxInit = true
+		s.rxNext = seq + 1
+		return
+	}
+	switch {
+	case seq == s.rxNext:
+		s.rxNext++
+	case seq > s.rxNext:
+		s.stats.SeqGaps.Add(uint64(seq - s.rxNext))
+		s.rxNext = seq + 1
+	default:
+		s.stats.Reordered.Add(1)
+	}
+}
+
+// sessionTable is the fleet's live-session registry.
+type sessionTable struct {
+	mu      sync.RWMutex
+	byKey   map[string]*session
+	bySysID map[byte][]*session
+	expired atomic.Uint64
+}
+
+func newSessionTable() *sessionTable {
+	return &sessionTable{
+		byKey:   make(map[string]*session),
+		bySysID: make(map[byte][]*session),
+	}
+}
+
+func sessionKey(addr *net.UDPAddr, sysID byte) string {
+	return fmt.Sprintf("%s|%d", addr, sysID)
+}
+
+// uplinkParser runs received uplink bytes through a lenient MAVLink
+// parser purely for the per-link counters; forwarding to the vehicle
+// is unconditional.
+type uplinkParser struct {
+	p mavlink.Parser
+}
+
+func (u *uplinkParser) feed(data []byte, st *LinkStats) {
+	before := u.p.Stats()
+	u.p.FeedBytes(data)
+	after := u.p.Stats()
+	st.UplinkFrames.Add(uint64(after.Frames - before.Frames))
+	st.CRCRejects.Add(uint64(after.CRCErrors - before.CRCErrors))
+}
+
+// lookup returns the session for (addr, sysID), creating it if new.
+// The bool reports whether the session already existed.
+func (t *sessionTable) lookup(addr *net.UDPAddr, sysID byte, now time.Time) (*session, bool) {
+	key := sessionKey(addr, sysID)
+	t.mu.RLock()
+	s := t.byKey[key]
+	t.mu.RUnlock()
+	if s != nil {
+		return s, true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s = t.byKey[key]; s != nil {
+		return s, true
+	}
+	// Copy the address: the read loop's UDPAddr may be reused.
+	a := *addr
+	s = &session{key: key, addr: &a, sysID: sysID}
+	s.touch(now)
+	t.byKey[key] = s
+	t.bySysID[sysID] = append(t.bySysID[sysID], s)
+	return s, false
+}
+
+// subscribers returns the sessions watching a vehicle.
+func (t *sessionTable) subscribers(sysID byte) []*session {
+	t.mu.RLock()
+	subs := t.bySysID[sysID]
+	out := make([]*session, len(subs))
+	copy(out, subs)
+	t.mu.RUnlock()
+	return out
+}
+
+// remove deletes a session (graceful bye).
+func (t *sessionTable) remove(s *session) {
+	t.mu.Lock()
+	t.removeLocked(s)
+	t.mu.Unlock()
+}
+
+func (t *sessionTable) removeLocked(s *session) {
+	if t.byKey[s.key] != s {
+		return
+	}
+	delete(t.byKey, s.key)
+	subs := t.bySysID[s.sysID]
+	for i, other := range subs {
+		if other == s {
+			t.bySysID[s.sysID] = append(subs[:i], subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// expire removes sessions idle longer than timeout and returns how
+// many were dropped.
+func (t *sessionTable) expire(now time.Time, timeout time.Duration) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var dead []*session
+	for _, s := range t.byKey {
+		if s.idleSince(now) > timeout {
+			dead = append(dead, s)
+		}
+	}
+	for _, s := range dead {
+		t.removeLocked(s)
+	}
+	t.expired.Add(uint64(len(dead)))
+	return len(dead)
+}
+
+// count returns the number of live sessions.
+func (t *sessionTable) count() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.byKey)
+}
+
+// all returns every live session.
+func (t *sessionTable) all() []*session {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*session, 0, len(t.byKey))
+	for _, s := range t.byKey {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package netlink
+
+import (
+	"mavr/internal/firmware"
+	"mavr/internal/mavlink"
+)
+
+// StreamSplitter segments the vehicle's downlink byte stream into
+// self-contained records: telemetry pulses ([firmware.PulseMagic, seq,
+// gyro, heading]) and complete MAVLink frames. Packing datagrams on
+// record boundaries is what makes UDP loss benign — a dropped datagram
+// removes whole records, never a record prefix, so the ground
+// station's stream parser cannot desynchronize and loss manifests as
+// pulse sequence gaps instead of garbage.
+//
+// Bytes that start neither a pulse nor a frame become single-byte
+// records: a compromised vehicle spraying garbage still reaches the
+// monitor (and trips its garbage counter) rather than being laundered
+// by the transport.
+type StreamSplitter struct {
+	buf []byte
+}
+
+// Feed appends data to the pending stream and returns all complete
+// records. A trailing partial record is held until the next Feed. The
+// returned slices are copies and remain valid after subsequent calls.
+func (s *StreamSplitter) Feed(data []byte) [][]byte {
+	s.buf = append(s.buf, data...)
+	var records [][]byte
+	off := 0
+	for off < len(s.buf) {
+		n := recordLen(s.buf[off:])
+		if n == 0 {
+			break // incomplete record, wait for more bytes
+		}
+		records = append(records, append([]byte(nil), s.buf[off:off+n]...))
+		off += n
+	}
+	s.buf = append(s.buf[:0], s.buf[off:]...)
+	return records
+}
+
+// Pending returns the number of buffered bytes of an incomplete
+// trailing record.
+func (s *StreamSplitter) Pending() int { return len(s.buf) }
+
+// recordLen returns the length of the record starting at b[0], or 0 if
+// b holds only an incomplete prefix.
+func recordLen(b []byte) int {
+	switch b[0] {
+	case firmware.PulseMagic:
+		if len(b) < firmware.PulseSize {
+			return 0
+		}
+		return firmware.PulseSize
+	case mavlink.Magic:
+		if len(b) < 2 {
+			return 0
+		}
+		total := 6 + int(b[1]) + 2
+		if len(b) < total {
+			return 0
+		}
+		return total
+	default:
+		return 1
+	}
+}
+
+// packRecords greedily packs records into payloads no larger than
+// limit. A single record larger than limit gets a payload of its own
+// (UDP carries it; it just exceeds the preferred size).
+func packRecords(records [][]byte, limit int) [][]byte {
+	var payloads [][]byte
+	var cur []byte
+	for _, r := range records {
+		if len(cur) > 0 && len(cur)+len(r) > limit {
+			payloads = append(payloads, cur)
+			cur = nil
+		}
+		cur = append(cur, r...)
+	}
+	if len(cur) > 0 {
+		payloads = append(payloads, cur)
+	}
+	return payloads
+}
