@@ -1,0 +1,130 @@
+// determinism-vet adapts internal/lint/determinism to the `go vet
+// -vettool` unit-checker protocol, without depending on
+// golang.org/x/tools. Run it as:
+//
+//	go vet -vettool=$(pwd)/determinism-vet ./...
+//
+// The go command invokes the tool once per package with a JSON config
+// file describing the unit of work (file list, import map, export-data
+// locations). The contract, distilled from cmd/go/internal/work:
+//
+//   - `determinism-vet -V=full` must print "determinism-vet version
+//     <v>" so the build cache can fingerprint the tool;
+//   - `determinism-vet <cfg>.cfg` must lint the unit, write the (here
+//     empty) facts file named by VetxOutput, print diagnostics to
+//     stderr and exit nonzero iff there were any.
+//
+// Packages outside the deterministic set exit immediately; for the
+// rest the tool typechecks against the compiler's export data so the
+// map-iteration check has real types, degrading to the syntactic
+// checks when export data is unavailable.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"mavr/internal/lint/determinism"
+)
+
+const version = "determinism-vet version v1.0.0"
+
+func main() {
+	if len(os.Args) == 2 && (os.Args[1] == "-V=full" || os.Args[1] == "-V") {
+		fmt.Println(version)
+		return
+	}
+	// `go vet` probes the tool's flag set before dispatching units; this
+	// tool has none.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: determinism-vet vet.cfg (invoked by go vet -vettool)")
+		os.Exit(2)
+	}
+	diags, err := runUnit(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+// vetConfig mirrors the fields of cmd/go's vet config JSON that this
+// tool consumes.
+type vetConfig struct {
+	ImportPath                string
+	Dir                       string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath string) ([]determinism.Diagnostic, error) {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// The go command requires the facts file to exist even when the
+	// unit is skipped; this tool exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly || !determinism.DeterministicImportPath(cfg.ImportPath) {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	tconf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			file, ok := cfg.PackageFile[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}),
+		Error: func(error) {}, // collect what typechecks; partial info is fine
+	}
+	// A failed typecheck is not fatal either way: the syntactic checks
+	// need no types, and info retains whatever did resolve.
+	_, _ = tconf.Check(cfg.ImportPath, fset, files, info)
+
+	return determinism.CheckFiles(fset, files, info), nil
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"strings"
@@ -27,6 +28,7 @@ import (
 	"mavr/internal/gcs"
 	"mavr/internal/mavlink"
 	"mavr/internal/netlink"
+	"mavr/internal/staticverify"
 )
 
 func main() {
@@ -107,6 +109,14 @@ func perf() error {
 	if err != nil {
 		return err
 	}
+	planePre, err := core.Preprocess(plane.ELF)
+	if err != nil {
+		return err
+	}
+	planeRnd, err := core.Randomize(planePre, core.Permutation(rand.New(rand.NewSource(1)), len(planePre.Blocks)))
+	if err != nil {
+		return err
+	}
 
 	benches := []struct {
 		name string
@@ -134,6 +144,17 @@ func perf() error {
 			for i := 0; i < b.N; i++ {
 				core.SimulateBruteForceFixedParallel(1, 5, 500, 0)
 				core.SimulateBruteForceRerandomizedParallel(1, 5, 500, 0)
+			}
+		}},
+		{"StaticVerify", func(b *testing.B) {
+			// Full verification (CFG + diff, no gadget audit) of an
+			// ArduPlane-scale randomization — the pre-flash gate the
+			// master runs on every re-randomization.
+			for i := 0; i < b.N; i++ {
+				rep := staticverify.Verify(planePre, planeRnd, staticverify.Options{})
+				if !rep.OK() {
+					b.Fatal("verification failed")
+				}
 			}
 		}},
 		{"Decode", func(b *testing.B) {

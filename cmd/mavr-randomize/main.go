@@ -23,6 +23,7 @@ import (
 	"mavr/internal/elfobj"
 	"mavr/internal/firmware"
 	"mavr/internal/hexfile"
+	"mavr/internal/staticverify"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func run() error {
 	hexOut := flag.String("hex", "", "write the randomized image as Intel HEX here")
 	elfOut := flag.String("out-elf", "", "write the randomized image as an ELF (with relocated symbols) here")
 	moves := flag.Bool("moves", false, "print the per-function layout diff")
+	noVerify := flag.Bool("no-verify", false, "skip the static patch-completeness verification post-pass")
 	flag.Parse()
 
 	var elf *elfobj.File
@@ -92,6 +94,18 @@ func run() error {
 	}
 	fmt.Printf("randomize: patched %d control transfers, %d function pointers\n",
 		r.PatchedTransfers, r.PatchedPointers)
+
+	if !*noVerify {
+		rep := staticverify.Verify(pre, r, staticverify.Options{Gadgets: false})
+		fmt.Printf("verify: %d transfers, %d vectors, %d pointers proven remapped\n",
+			rep.Diff.TransfersChecked, rep.Diff.VectorsChecked, rep.Diff.PointersChecked)
+		if !rep.OK() {
+			for _, f := range rep.Findings {
+				fmt.Fprintln(os.Stderr, f)
+			}
+			return fmt.Errorf("static verification failed with %d errors; image not written", rep.Errors())
+		}
+	}
 
 	if *moves {
 		for _, m := range r.Moves(pre) {

@@ -1,0 +1,64 @@
+package avr
+
+// Internal test: the decode cache's fetch path is unexported, and the
+// whole point is proving it indistinguishable from uncached decoding.
+
+import (
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary flash contents to the decoder. Invariants:
+// Decode never panics, InstrWords always agrees with Decode on the
+// instruction length, and the CPU's predecoded cache returns exactly
+// what uncached decoding returns — before and after a flash rewrite
+// with invalidation, the scenario MAVR's re-randomization produces.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x0C, 0x94, 0x34, 0x12}) // jmp
+	f.Add([]byte{0x0E, 0x94, 0x00, 0x00}) // call
+	f.Add([]byte{0x08, 0x95, 0x18, 0x95}) // ret, reti
+	f.Add([]byte{0xE8, 0x95, 0x09, 0x94}) // spm, ijmp
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // erased flash
+	f.Add([]byte{0x0C, 0x94})             // two-word instr cut short
+	f.Add(make([]byte, 512))              // a page of nops
+
+	cpu := New()
+	f.Fuzz(func(t *testing.T, image []byte) {
+		if len(image) > 4096 {
+			image = image[:4096]
+		}
+		if err := cpu.LoadFlash(image); err != nil {
+			t.Fatal(err)
+		}
+		words := uint32((len(image) + 1) / 2)
+		for pc := uint32(0); pc <= words && pc+1 < FlashWords; pc++ {
+			plain := Decode(wordAt(cpu.Flash, pc), wordAt(cpu.Flash, pc+1))
+			if got := InstrWords(wordAt(cpu.Flash, pc)); got != plain.Words {
+				t.Fatalf("pc %d: InstrWords = %d, Decode.Words = %d", pc, got, plain.Words)
+			}
+			if streamed := DecodeAt(cpu.Flash, pc); streamed != plain {
+				t.Fatalf("pc %d: DecodeAt = %+v, Decode = %+v", pc, streamed, plain)
+			}
+			if cached := cpu.fetch(pc); cached != plain {
+				t.Fatalf("pc %d: cached fetch = %+v, uncached = %+v", pc, cached, plain)
+			}
+			// A second fetch is a guaranteed cache hit; it must not decay.
+			if hit := cpu.fetch(pc); hit != plain {
+				t.Fatalf("pc %d: cache hit = %+v, uncached = %+v", pc, hit, plain)
+			}
+		}
+
+		// Rewrite the image in place (byte-flip the whole extent), as a
+		// randomization pass would, and invalidate: the cache must track.
+		for i := range image {
+			cpu.Flash[i] ^= 0xA5
+		}
+		cpu.InvalidateFlash(0, uint32(len(image)))
+		for pc := uint32(0); pc <= words && pc+1 < FlashWords; pc++ {
+			plain := Decode(wordAt(cpu.Flash, pc), wordAt(cpu.Flash, pc+1))
+			if cached := cpu.fetch(pc); cached != plain {
+				t.Fatalf("pc %d after rewrite: cached = %+v, uncached = %+v", pc, cached, plain)
+			}
+		}
+	})
+}

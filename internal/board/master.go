@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mavr/internal/core"
+	"mavr/internal/staticverify"
 )
 
 // Programming-path timing (paper §VII-B1): the prototype's master
@@ -44,6 +45,10 @@ type MasterConfig struct {
 	InstructionLevelProgramming bool
 	// Seed drives the master's permutation source.
 	Seed int64
+	// SkipVerify disables the static patch-completeness check the
+	// master runs before flashing a freshly randomized image (§VI-B: a
+	// single missed patch bricks the board or leaves a stable gadget).
+	SkipVerify bool
 }
 
 func (c MasterConfig) withDefaults() MasterConfig {
@@ -77,6 +82,9 @@ type MasterStats struct {
 	Randomizations   int
 	FailuresDetected int
 	ProgramCycles    int // flash endurance consumption
+	// VerifyRejections counts images the pre-flash static verifier
+	// refused to program.
+	VerifyRejections int
 }
 
 // Master is the ATmega1284P that owns the external flash, randomizes
@@ -93,6 +101,11 @@ type Master struct {
 	now            func() time.Duration
 	expectBoot     bool
 	unexpectedBoot bool
+
+	// tamper, when set, mutates the randomization outcome before
+	// verification — test instrumentation modeling a defective or
+	// compromised rewriter.
+	tamper func(*core.Preprocessed, *core.Randomized)
 }
 
 // NewMaster wires a master processor to its flash chip and application
@@ -177,6 +190,17 @@ func (m *Master) randomizeAndProgram(now time.Duration) (StartupReport, error) {
 	r, err := core.Randomize(pre, perm)
 	if err != nil {
 		return StartupReport{}, fmt.Errorf("board: randomize: %w", err)
+	}
+	if m.tamper != nil {
+		m.tamper(pre, r)
+	}
+	if !m.cfg.SkipVerify {
+		rep := staticverify.Verify(pre, r, staticverify.Options{Gadgets: false})
+		if !rep.OK() {
+			m.stats.VerifyRejections++
+			return StartupReport{}, fmt.Errorf("board: static verification rejected image: %d errors (first: %s)",
+				rep.Errors(), rep.Findings[0])
+		}
 	}
 	if m.cfg.InstructionLevelProgramming {
 		if _, err := m.app.ProgramViaBootloader(r.Image); err != nil {

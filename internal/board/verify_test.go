@@ -1,0 +1,80 @@
+package board
+
+// Internal test: needs the unexported tamper hook to model a defective
+// rewriter, which no public API exposes (on purpose).
+
+import (
+	"strings"
+	"testing"
+
+	"mavr/internal/core"
+	"mavr/internal/firmware"
+	"mavr/internal/staticverify"
+)
+
+func tamperSystem(t *testing.T, cfg MasterConfig) *System {
+	t.Helper()
+	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(SystemConfig{Master: cfg})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// A master handed a randomization outcome with one unpatched call must
+// refuse to flash it: the verification gate catches the defect before
+// it bricks the board.
+func TestMasterRejectsUnpatchedImage(t *testing.T) {
+	sys := tamperSystem(t, MasterConfig{Seed: 11})
+	sys.Master.tamper = func(pre *core.Preprocessed, r *core.Randomized) {
+		if _, err := staticverify.RevertPatch(pre, r, 40); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := sys.Boot()
+	if err == nil {
+		t.Fatal("master flashed an image with an unpatched transfer")
+	}
+	if !strings.Contains(err.Error(), "static verification rejected") {
+		t.Fatalf("wrong rejection error: %v", err)
+	}
+	if got := sys.Master.Stats().VerifyRejections; got != 1 {
+		t.Fatalf("VerifyRejections = %d, want 1", got)
+	}
+	if sys.Master.Stats().ProgramCycles != 0 {
+		t.Fatal("rejected image still consumed a program cycle")
+	}
+}
+
+// SkipVerify restores the old trust-the-rewriter behavior.
+func TestMasterSkipVerifyFlashesAnyway(t *testing.T) {
+	sys := tamperSystem(t, MasterConfig{Seed: 11, SkipVerify: true})
+	sys.Master.tamper = func(pre *core.Preprocessed, r *core.Randomized) {
+		if _, err := staticverify.RevertPatch(pre, r, 40); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.Boot(); err != nil {
+		t.Fatalf("SkipVerify master refused to flash: %v", err)
+	}
+}
+
+// An untampered randomization passes the gate: the verifier does not
+// get in the way of normal boots.
+func TestMasterVerifyPassesCleanImage(t *testing.T) {
+	sys := tamperSystem(t, MasterConfig{Seed: 11})
+	rep, err := sys.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Randomized {
+		t.Fatal("first boot did not randomize")
+	}
+	if got := sys.Master.Stats().VerifyRejections; got != 0 {
+		t.Fatalf("VerifyRejections = %d, want 0", got)
+	}
+}

@@ -23,7 +23,7 @@ func FuzzParser(f *testing.F) {
 
 	f.Add([]byte{})
 	f.Add(valid)
-	f.Add(valid[:len(valid)-3])                       // truncated frame
+	f.Add(valid[:len(valid)-3])                        // truncated frame
 	f.Add(append([]byte{0x00, Magic, 0xFF}, valid...)) // garbage + magic tease
 	f.Add(bytes.Repeat([]byte{Magic}, 300))            // magic storm
 	f.Add(append(append([]byte(nil), valid...), valid...))

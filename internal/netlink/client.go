@@ -1,3 +1,7 @@
+// Client-side read deadlines and arrival-rate estimation are
+// wall-clock operations against a real UDP socket.
+//mavr:wallclock
+
 package netlink
 
 import (
@@ -133,7 +137,7 @@ func (c *Client) Close() error {
 	c.closeOnce.Do(func() {
 		c.sendDatagram(PacketBye, nil)
 		close(c.stop)
-		c.conn.Close()
+		_ = c.conn.Close()
 		c.wg.Wait()
 	})
 	return nil

@@ -1,3 +1,7 @@
+// The fleet daemon bridges simulated time to real time: the pacer
+// schedules simulation steps against the wall clock on purpose.
+//mavr:wallclock
+
 package netlink
 
 import (

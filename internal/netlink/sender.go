@@ -1,3 +1,7 @@
+// Datagram pacing runs against the real clock by design: injected
+// latency is realized as wall-clock sleeps on the socket goroutine.
+//mavr:wallclock
+
 package netlink
 
 import (
@@ -114,10 +118,10 @@ func (s *sender) close() {
 
 type delayHeap []delayed
 
-func (h delayHeap) Len() int            { return len(h) }
-func (h delayHeap) Less(i, j int) bool  { return h[i].due.Before(h[j].due) }
-func (h delayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *delayHeap) Push(x any)         { *h = append(*h, x.(delayed)) }
+func (h delayHeap) Len() int           { return len(h) }
+func (h delayHeap) Less(i, j int) bool { return h[i].due.Before(h[j].due) }
+func (h delayHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)        { *h = append(*h, x.(delayed)) }
 func (h *delayHeap) Pop() any {
 	old := *h
 	n := len(old)

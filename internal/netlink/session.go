@@ -3,6 +3,7 @@ package netlink
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -153,7 +154,7 @@ func (t *sessionTable) expire(now time.Time, timeout time.Duration) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var dead []*session
-	for _, s := range t.byKey {
+	for _, s := range t.allLocked() {
 		if s.idleSince(now) > timeout {
 			dead = append(dead, s)
 		}
@@ -172,13 +173,23 @@ func (t *sessionTable) count() int {
 	return len(t.byKey)
 }
 
-// all returns every live session.
+// all returns every live session in key order, so callers walking the
+// table (expiry sweeps, stats dumps) behave identically run to run.
 func (t *sessionTable) all() []*session {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]*session, 0, len(t.byKey))
-	for _, s := range t.byKey {
-		out = append(out, s)
+	return t.allLocked()
+}
+
+func (t *sessionTable) allLocked() []*session {
+	keys := make([]string, 0, len(t.byKey))
+	for k := range t.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*session, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, t.byKey[k])
 	}
 	return out
 }

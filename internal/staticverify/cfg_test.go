@@ -1,0 +1,111 @@
+package staticverify_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavr/internal/avr"
+	"mavr/internal/core"
+	"mavr/internal/firmware"
+	"mavr/internal/staticverify"
+)
+
+// CFG recovery on the original image: every block becomes a function,
+// blocks chain consistently, and the dispatcher's icall sites show up.
+func TestRecoverOriginalImage(t *testing.T) {
+	pre := genPre(t)
+	g := staticverify.Recover(pre.Image, pre.Blocks, pre.RegionStart, pre.RegionEnd)
+
+	for _, f := range g.Findings {
+		if f.Severity == staticverify.SevError {
+			t.Errorf("unexpected error finding on pristine image: %s", f)
+		}
+	}
+	if len(g.Funcs) != len(pre.Blocks) {
+		t.Fatalf("recovered %d funcs, want %d", len(g.Funcs), len(pre.Blocks))
+	}
+	if g.IndirectSiteCount() == 0 {
+		t.Fatal("no indirect sites recovered; the scheduler dispatches via icall")
+	}
+	if g.EntryTargets == nil {
+		t.Fatal("indirect sites present but no over-approximated target set")
+	}
+	if g.CallEdgeCount() == 0 {
+		t.Fatal("no call edges recovered")
+	}
+
+	for _, fn := range g.Funcs {
+		if len(fn.Blocks) == 0 {
+			t.Fatalf("%s: no basic blocks", fn.Name)
+		}
+		if fn.Blocks[0].Start != fn.Start {
+			t.Fatalf("%s: first block starts at 0x%X, func at 0x%X", fn.Name, fn.Blocks[0].Start, fn.Start)
+		}
+		for _, bb := range fn.Blocks {
+			if bb.End <= bb.Start || bb.End > fn.End {
+				t.Fatalf("%s: block [0x%X,0x%X) escapes func [0x%X,0x%X)", fn.Name, bb.Start, bb.End, fn.Start, fn.End)
+			}
+			for _, s := range bb.Succs {
+				if s < fn.Start || s >= fn.End {
+					t.Fatalf("%s: successor 0x%X outside func", fn.Name, s)
+				}
+			}
+		}
+		// Call edges must point at function entries or fixed code.
+		for _, c := range fn.Calls {
+			if c >= pre.RegionStart && pre.BlockIndex(c) >= 0 {
+				i := pre.BlockIndex(c)
+				if pre.Blocks[i].Start != c {
+					t.Fatalf("%s: call edge 0x%X is not a function entry", fn.Name, c)
+				}
+			}
+		}
+	}
+}
+
+// Vector-table entries in the fixed region must be enumerated as
+// indirect-eligible entries, and each must decode as a jmp.
+func TestRecoverFixedEntries(t *testing.T) {
+	pre := genPre(t)
+	g := staticverify.Recover(pre.Image, pre.Blocks, pre.RegionStart, pre.RegionEnd)
+	if len(g.FixedEntries) < firmware.NumVectors {
+		t.Fatalf("%d fixed entries, want at least %d vectors", len(g.FixedEntries), firmware.NumVectors)
+	}
+	for v := 0; v < firmware.NumVectors; v++ {
+		in := avr.DecodeAt(pre.Image, uint32(v*2))
+		if in.Op != avr.OpJMP {
+			t.Fatalf("vector %d is %s, want jmp", v, in.Op)
+		}
+	}
+}
+
+// The CFG of the randomized image must be structurally the same program:
+// identical per-function block and instruction counts, with functions
+// matched by name.
+func TestRecoverInvariantUnderRandomization(t *testing.T) {
+	pre := genPre(t)
+	g := staticverify.Recover(pre.Image, pre.Blocks, pre.RegionStart, pre.RegionEnd)
+	orig := make(map[string]*staticverify.Func, len(g.Funcs))
+	for _, fn := range g.Funcs {
+		orig[fn.Name] = fn
+	}
+
+	r, err := core.Randomize(pre, core.Permutation(rand.New(rand.NewSource(9)), len(pre.Blocks)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := staticverify.Recover(r.Image, staticverify.RelocatedBlocks(pre, r), pre.RegionStart, pre.RegionEnd)
+	for _, fn := range rg.Funcs {
+		o, ok := orig[fn.Name]
+		if !ok {
+			t.Fatalf("randomized image grew function %q", fn.Name)
+		}
+		if len(fn.Blocks) != len(o.Blocks) || fn.Instrs != o.Instrs {
+			t.Fatalf("%s: structure changed under randomization: %d/%d blocks, %d/%d instrs",
+				fn.Name, len(fn.Blocks), len(o.Blocks), fn.Instrs, o.Instrs)
+		}
+		if len(fn.Calls) != len(o.Calls) {
+			t.Fatalf("%s: call-edge count changed: %d vs %d", fn.Name, len(fn.Calls), len(o.Calls))
+		}
+	}
+}

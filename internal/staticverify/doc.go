@@ -1,0 +1,43 @@
+// Package staticverify proves MAVR-randomized firmware images correct
+// before they are ever flashed. The rewriter in internal/core moves
+// function blocks and patches every encoded control transfer and
+// function pointer; a single missed patch bricks the board or — worse —
+// leaves a stable gadget an attacker can reuse across randomizations
+// (paper §V-B, §VI-B3). Running the image in the simulator only
+// exercises the paths the workload happens to take; this package checks
+// all of them statically.
+//
+// Three passes, all built on internal/avr's decoder:
+//
+//   - CFG recovery (Recover): a conservative control-flow graph and
+//     call graph of an image, function by function. "Conservative" on
+//     AVR means: every instruction inside a function symbol's extent is
+//     decoded linearly (AVR instructions are 1 or 2 words, streams
+//     cannot overlap), direct edges (jmp/call/rjmp/rcall/brbs/brbc and
+//     the skip instructions) are recovered exactly, and indirect edges
+//     (ijmp/icall/eijmp/eicall) are over-approximated by the full entry
+//     set — every function start plus every fixed low-flash stub — since
+//     the data-section pointer tables are the only sanctioned sources
+//     of indirect targets. A function containing spm is self-modifying
+//     and reported unverifiable rather than silently passed.
+//
+//   - Patch-completeness diff (VerifyPatches): a lockstep walk of the
+//     original and randomized images proving that every direct
+//     transfer, interrupt-vector entry and tabled function pointer was
+//     remapped to exactly its relocated target, and that nothing else
+//     changed. Any unpatched, mispatched or dangling edge is a
+//     structured Finding.
+//
+//   - Residual gadget audit (AuditGadgets): internal/gadget.Scan over
+//     both images, reporting gadget addresses that survive
+//     randomization unchanged — the stable-gadget condition the paper's
+//     V1–V3 attacks need. Survivors inside the shuffled region are
+//     per-address warnings (usually a permutation fixed point);
+//     survivors in fixed regions (vectors, stubs, data, calibration
+//     table) are summarized as info, since they are invariants of the
+//     firmware rather than rewriter defects.
+//
+// Verify composes the three passes into a Report. cmd/mavr-verify is
+// the CLI; mavr-randomize runs Verify as an opt-out post-pass; and
+// board.Master refuses to flash any image with error-severity findings.
+package staticverify

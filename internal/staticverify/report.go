@@ -1,0 +1,154 @@
+package staticverify
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mavr/internal/core"
+)
+
+// Options tunes a Verify run.
+type Options struct {
+	// Gadgets enables the residual gadget audit (two full image scans;
+	// skip it on hot boot paths where only correctness matters).
+	Gadgets bool
+	// GadgetMaxWords is the maximum gadget window, as in gadget.Scan.
+	GadgetMaxWords int
+}
+
+// DefaultOptions is what cmd/mavr-verify and mavr-randomize use: full
+// verification including the gadget audit at the §VII-A census window.
+func DefaultOptions() Options {
+	return Options{Gadgets: true, GadgetMaxWords: 24}
+}
+
+// CFGStats summarizes the recovered graph.
+type CFGStats struct {
+	Funcs         int `json:"funcs"`
+	BasicBlocks   int `json:"basic_blocks"`
+	CallEdges     int `json:"call_edges"`
+	IndirectSites int `json:"indirect_sites"`
+	// IndirectTargets is the size of the over-approximated indirect
+	// target set (0 when the image has no indirect sites).
+	IndirectTargets int `json:"indirect_targets"`
+	Instrs          int `json:"instrs"`
+}
+
+// Report is the complete result of verifying one randomization outcome.
+type Report struct {
+	Blocks      int          `json:"blocks"`
+	RegionStart uint32       `json:"region_start"`
+	RegionEnd   uint32       `json:"region_end"`
+	CFG         CFGStats     `json:"cfg"`
+	Diff        DiffStats    `json:"diff"`
+	Gadgets     *GadgetAudit `json:"gadgets,omitempty"`
+	Findings    []Finding    `json:"findings"`
+}
+
+// Errors counts error-severity findings: the ones that make an image
+// unflashable.
+func (r *Report) Errors() int { return countBySeverity(r.Findings, SevError) }
+
+// Warnings counts warning-severity findings.
+func (r *Report) Warnings() int { return countBySeverity(r.Findings, SevWarn) }
+
+// OK reports whether the image is provably patch-complete: no
+// error-severity findings.
+func (r *Report) OK() bool { return r.Errors() == 0 }
+
+// Verify runs the full static verification of one randomization
+// outcome: CFG recovery over the randomized image, the
+// patch-completeness diff against the original, and (per opts) the
+// residual gadget audit.
+func Verify(pre *core.Preprocessed, r *core.Randomized, opts Options) *Report {
+	rep := &Report{
+		Blocks:      len(pre.Blocks),
+		RegionStart: pre.RegionStart,
+		RegionEnd:   pre.RegionEnd,
+	}
+
+	diffFindings, diffStats := VerifyPatches(pre, r)
+	rep.Diff = diffStats
+
+	var graphFindings []Finding
+	if len(r.Image) == len(pre.Image) {
+		g := Recover(r.Image, RelocatedBlocks(pre, r), pre.RegionStart, pre.RegionEnd)
+		rep.CFG = CFGStats{
+			Funcs:           len(g.Funcs),
+			BasicBlocks:     g.BasicBlockCount(),
+			CallEdges:       g.CallEdgeCount(),
+			IndirectSites:   g.IndirectSiteCount(),
+			IndirectTargets: len(g.EntryTargets),
+		}
+		for _, f := range g.Funcs {
+			rep.CFG.Instrs += f.Instrs
+		}
+		graphFindings = g.Findings
+	}
+
+	// The diff and the CFG both flag spm/undecodable sites; keep one
+	// finding per (kind, addr).
+	seen := make(map[string]bool, len(diffFindings))
+	add := func(fs []Finding) {
+		for _, f := range fs {
+			key := fmt.Sprintf("%s@%d@%s", f.Kind, f.Addr, f.Block)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			rep.Findings = append(rep.Findings, f)
+		}
+	}
+	add(diffFindings)
+	add(graphFindings)
+
+	if opts.Gadgets {
+		maxWords := opts.GadgetMaxWords
+		if maxWords <= 0 {
+			maxWords = 24
+		}
+		audit, gfs := AuditGadgets(pre, r, maxWords)
+		rep.Gadgets = &audit
+		rep.Findings = append(rep.Findings, gfs...)
+	}
+
+	sort.SliceStable(rep.Findings, func(i, j int) bool {
+		if rep.Findings[i].Severity != rep.Findings[j].Severity {
+			return rep.Findings[i].Severity > rep.Findings[j].Severity
+		}
+		return rep.Findings[i].Addr < rep.Findings[j].Addr
+	})
+	return rep
+}
+
+// WriteText renders the report for terminals.
+func (r *Report) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "verify: %d blocks, region [0x%X,0x%X)\n", r.Blocks, r.RegionStart, r.RegionEnd)
+	fmt.Fprintf(w, "  cfg:  %d funcs, %d basic blocks, %d call edges, %d indirect sites (over-approximated to %d entry targets), %d instrs\n",
+		r.CFG.Funcs, r.CFG.BasicBlocks, r.CFG.CallEdges, r.CFG.IndirectSites, r.CFG.IndirectTargets, r.CFG.Instrs)
+	fmt.Fprintf(w, "  diff: %d transfers, %d vectors, %d pointers proven remapped (%d words compared)\n",
+		r.Diff.TransfersChecked, r.Diff.VectorsChecked, r.Diff.PointersChecked, r.Diff.WordsCompared)
+	if r.Gadgets != nil {
+		fmt.Fprintf(w, "  gadgets: %d orig, %d randomized, %d stable (%d inside shuffled region)\n",
+			r.Gadgets.Orig, r.Gadgets.Rand, r.Gadgets.Stable, r.Gadgets.StableInRegion)
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "  %s\n", f)
+	}
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = "FAIL"
+	}
+	_, err := fmt.Fprintf(w, "  findings: %d errors, %d warnings, %d info — %s\n",
+		r.Errors(), r.Warnings(), countBySeverity(r.Findings, SevInfo), verdict)
+	return err
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,294 @@
+package staticverify_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"mavr/internal/avr"
+	"mavr/internal/core"
+	"mavr/internal/firmware"
+	"mavr/internal/staticverify"
+)
+
+func genPre(t *testing.T) *core.Preprocessed {
+	t.Helper()
+	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := core.Preprocess(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pre
+}
+
+func randomize(t *testing.T, pre *core.Preprocessed, seed int64) *core.Randomized {
+	t.Helper()
+	r, err := core.Randomize(pre, core.Permutation(rand.New(rand.NewSource(seed)), len(pre.Blocks)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// A clean randomization must verify with zero errors across seeds: the
+// rewriter's output is provably patch-complete.
+func TestCleanRandomizationPasses(t *testing.T) {
+	pre := genPre(t)
+	for seed := int64(1); seed <= 4; seed++ {
+		r := randomize(t, pre, seed)
+		rep := staticverify.Verify(pre, r, staticverify.DefaultOptions())
+		if !rep.OK() {
+			for _, f := range rep.Findings {
+				if f.Severity == staticverify.SevError {
+					t.Errorf("seed %d: unexpected error finding: %s", seed, f)
+				}
+			}
+		}
+		if rep.Diff.TransfersChecked == 0 || rep.Diff.VectorsChecked == 0 || rep.Diff.PointersChecked == 0 {
+			t.Fatalf("seed %d: diff proved nothing: %+v", seed, rep.Diff)
+		}
+		if rep.Diff.PointersChecked != len(pre.PtrOffsets) {
+			t.Fatalf("seed %d: checked %d pointers, want %d", seed, rep.Diff.PointersChecked, len(pre.PtrOffsets))
+		}
+		if rep.CFG.Funcs != len(pre.Blocks) {
+			t.Fatalf("seed %d: CFG has %d funcs, want %d", seed, rep.CFG.Funcs, len(pre.Blocks))
+		}
+	}
+}
+
+// The identity permutation moves nothing; the patch-completeness diff
+// of an image against itself must report zero findings.
+func TestIdentityDiffZeroFindings(t *testing.T) {
+	pre := genPre(t)
+	ident := make([]int, len(pre.Blocks))
+	for i := range ident {
+		ident[i] = i
+	}
+	r, err := core.Randomize(pre, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Image, pre.Image) {
+		t.Fatal("identity permutation changed the image")
+	}
+	findings, st := staticverify.VerifyPatches(pre, r)
+	if len(findings) != 0 {
+		t.Fatalf("identity diff produced findings: %v", findings)
+	}
+	if st.TransfersChecked == 0 {
+		t.Fatal("identity diff checked no transfers")
+	}
+}
+
+// A deliberately skipped patch — one call left aiming at the old
+// address — must be flagged as an error.
+func TestSkippedPatchFlagged(t *testing.T) {
+	pre := genPre(t)
+	r := randomize(t, pre, 2)
+
+	// Pick a patched transfer inside the shuffled region (the first few
+	// are vector entries).
+	var addr uint32
+	n := 0
+	for {
+		a, err := staticverify.RevertPatch(pre, r, n)
+		if err != nil {
+			t.Fatal("no patched transfer inside the shuffled region")
+		}
+		if a >= pre.RegionStart {
+			addr = a
+			break
+		}
+		// Undo the trial revert by re-randomizing and trying the next.
+		r = randomize(t, pre, 2)
+		n++
+	}
+
+	rep := staticverify.Verify(pre, r, staticverify.Options{})
+	if rep.OK() {
+		t.Fatal("verifier passed an image with an unpatched transfer")
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Kind == staticverify.KindUnpatchedTransfer && f.Addr == addr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no unpatched-transfer finding at 0x%X; findings: %v", addr, rep.Findings)
+	}
+}
+
+// A vector-table entry left pointing into the pre-randomization layout
+// must be flagged with the vector kind: it fires on the next interrupt.
+func TestUnpatchedVectorFlagged(t *testing.T) {
+	pre := genPre(t)
+	r := randomize(t, pre, 3)
+
+	// The reset vector (vector 0) targets __init, which certainly moved.
+	in := avr.DecodeAt(pre.Image, 0)
+	if in.Op != avr.OpJMP {
+		t.Fatalf("vector 0 is %s, want jmp", in.Op)
+	}
+	rin := avr.DecodeAt(r.Image, 0)
+	if rin.Target == in.Target {
+		t.Skip("reset target did not move under this seed")
+	}
+	addr, err := staticverify.RevertPatch(pre, r, 0)
+	if err != nil || addr != 0 {
+		t.Fatalf("RevertPatch(0) = 0x%X, %v; want the reset vector", addr, err)
+	}
+
+	rep := staticverify.Verify(pre, r, staticverify.Options{})
+	found := false
+	for _, f := range rep.Findings {
+		if f.Kind == staticverify.KindUnpatchedVector && f.Addr == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no unpatched-vector finding; findings: %v", rep.Findings)
+	}
+}
+
+// An unreverted data-section function pointer must be flagged.
+func TestUnpatchedPointerFlagged(t *testing.T) {
+	pre := genPre(t)
+	r := randomize(t, pre, 4)
+	off, err := staticverify.RevertPointerPatch(pre, r, 0)
+	if err != nil {
+		t.Skip("no pointer moved under this seed")
+	}
+	rep := staticverify.Verify(pre, r, staticverify.Options{})
+	found := false
+	for _, f := range rep.Findings {
+		if f.Kind == staticverify.KindUnpatchedPointer && f.Addr == off {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no unpatched-pointer finding at 0x%X; findings: %v", off, rep.Findings)
+	}
+}
+
+// A function containing spm is self-modifying: the verifier must report
+// it unverifiable, never silently pass it.
+func TestSPMRegionUnverifiable(t *testing.T) {
+	pre := genPre(t)
+	r := randomize(t, pre, 5)
+
+	// Replace a one-word straight-line instruction inside some block
+	// with spm, in both images at corresponding locations, so the
+	// streams still match and only the spm rule can fire.
+	const spmWord = 0x95E8
+	remapped := func(old uint32) uint32 {
+		i := pre.BlockIndex(old)
+		return r.NewStart[i] + (old - pre.Blocks[i].Start)
+	}
+	var spmAddr uint32
+	b := pre.Blocks[len(pre.Blocks)/2]
+	for pc := b.Start / 2; pc < b.End()/2; {
+		in := avr.DecodeAt(pre.Image, pc)
+		if in.Words == 1 && !in.IsCallOrJump() &&
+			in.Op != avr.OpBRBS && in.Op != avr.OpBRBC && in.Op != avr.OpRET {
+			old := pc * 2
+			nw := remapped(old)
+			pre.Image[old], pre.Image[old+1] = byte(spmWord&0xFF), byte(spmWord>>8)
+			r.Image[nw], r.Image[nw+1] = byte(spmWord&0xFF), byte(spmWord>>8)
+			spmAddr = nw
+			break
+		}
+		pc += uint32(in.Words)
+	}
+	if spmAddr == 0 {
+		t.Fatal("found no instruction to replace with spm")
+	}
+
+	rep := staticverify.Verify(pre, r, staticverify.Options{})
+	if rep.OK() {
+		t.Fatal("verifier passed a self-modifying image")
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Kind == staticverify.KindUnverifiableSPM && f.Addr == spmAddr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no spm-unverifiable finding at 0x%X; findings: %v", spmAddr, rep.Findings)
+	}
+}
+
+// Corrupting a non-transfer instruction must surface as an
+// opcode-mismatch, not silently pass or panic.
+func TestStreamDivergenceFlagged(t *testing.T) {
+	pre := genPre(t)
+	r := randomize(t, pre, 6)
+	// Flip a bit in the middle of some relocated block.
+	i := len(pre.Blocks) / 3
+	off := r.NewStart[i] + pre.Blocks[i].Size/2&^1
+	r.Image[off] ^= 0x10
+	rep := staticverify.Verify(pre, r, staticverify.Options{})
+	if rep.OK() {
+		t.Fatal("verifier passed a corrupted image")
+	}
+}
+
+// The gadget audit: under the identity permutation every gadget is
+// stable; under a real permutation the in-region survivors shrink to
+// (at most) the fixed points of the permutation.
+func TestGadgetAudit(t *testing.T) {
+	pre := genPre(t)
+	ident := make([]int, len(pre.Blocks))
+	for i := range ident {
+		ident[i] = i
+	}
+	rid, err := core.Randomize(pre, ident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, findings := staticverify.AuditGadgets(pre, rid, 24)
+	if audit.Orig == 0 || audit.Stable != audit.Orig {
+		t.Fatalf("identity: %d/%d gadgets stable, want all", audit.Stable, audit.Orig)
+	}
+	if len(findings) == 0 {
+		t.Fatal("identity: no stable-gadget findings")
+	}
+
+	r := randomize(t, pre, 7)
+	moved, _ := staticverify.AuditGadgets(pre, r, 24)
+	if moved.StableInRegion >= audit.StableInRegion/2 {
+		t.Fatalf("randomization left %d of %d in-region gadgets stable", moved.StableInRegion, audit.StableInRegion)
+	}
+}
+
+// Reports must round-trip through the JSON reporter.
+func TestReportJSON(t *testing.T) {
+	pre := genPre(t)
+	r := randomize(t, pre, 8)
+	rep := staticverify.Verify(pre, r, staticverify.DefaultOptions())
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"blocks", "cfg", "diff", "findings"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("JSON report missing %q: %s", key, buf.String())
+		}
+	}
+	var text bytes.Buffer
+	if err := rep.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(text.Bytes(), []byte("diff:")) {
+		t.Fatalf("text report malformed: %s", text.String())
+	}
+}
