@@ -22,6 +22,7 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -30,28 +31,33 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"strings"
 
 	"mavr/internal/lint/determinism"
 )
 
-const version = "determinism-vet version v1.0.0"
+const version = "determinism-vet version v1.1.0"
+
+var includeTests = flag.Bool("dettests", false,
+	"also lint _test.go files in deterministic packages (//mavr:wallclock still opts a file out)")
 
 func main() {
 	if len(os.Args) == 2 && (os.Args[1] == "-V=full" || os.Args[1] == "-V") {
 		fmt.Println(version)
 		return
 	}
-	// `go vet` probes the tool's flag set before dispatching units; this
-	// tool has none.
+	// `go vet` probes the tool's flag set before dispatching units and
+	// forwards matching flags from its own command line.
 	if len(os.Args) == 2 && os.Args[1] == "-flags" {
-		fmt.Println("[]")
+		printFlagDefs()
 		return
 	}
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: determinism-vet vet.cfg (invoked by go vet -vettool)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: determinism-vet [-dettests] vet.cfg (invoked by go vet -vettool)")
 		os.Exit(2)
 	}
-	diags, err := runUnit(os.Args[1])
+	diags, err := runUnit(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -62,6 +68,23 @@ func main() {
 	if len(diags) > 0 {
 		os.Exit(2)
 	}
+}
+
+// printFlagDefs answers the `-flags` probe: a JSON array in the shape
+// cmd/go expects (mirroring x/tools' analysisflags) so `go vet
+// -vettool=determinism-vet -dettests ./...` forwards the flag.
+func printFlagDefs() {
+	type def struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var defs []def
+	flag.VisitAll(func(f *flag.Flag) {
+		defs = append(defs, def{Name: f.Name, Bool: true, Usage: f.Usage})
+	})
+	out, _ := json.Marshal(defs)
+	fmt.Println(string(out))
 }
 
 // vetConfig mirrors the fields of cmd/go's vet config JSON that this
@@ -94,7 +117,15 @@ func runUnit(cfgPath string) ([]determinism.Diagnostic, error) {
 			return nil, err
 		}
 	}
-	if cfg.VetxOnly || !determinism.DeterministicImportPath(cfg.ImportPath) {
+	// Test variants arrive as "pkg [pkg.test]" units (and external test
+	// packages as "pkg_test [pkg.test]"); normalize back to the base
+	// import path so -dettests covers them.
+	ip := cfg.ImportPath
+	if i := strings.Index(ip, " ["); i >= 0 {
+		ip = ip[:i]
+	}
+	ip = strings.TrimSuffix(ip, "_test")
+	if cfg.VetxOnly || !determinism.DeterministicImportPath(ip) {
 		return nil, nil
 	}
 
@@ -126,5 +157,6 @@ func runUnit(cfgPath string) ([]determinism.Diagnostic, error) {
 	// need no types, and info retains whatever did resolve.
 	_, _ = tconf.Check(cfg.ImportPath, fset, files, info)
 
-	return determinism.CheckFiles(fset, files, info), nil
+	return determinism.Check(fset, files, info,
+		determinism.Options{IncludeTests: *includeTests}), nil
 }

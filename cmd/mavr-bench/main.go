@@ -28,6 +28,7 @@ import (
 	"mavr/internal/gcs"
 	"mavr/internal/mavlink"
 	"mavr/internal/netlink"
+	"mavr/internal/scenario"
 	"mavr/internal/staticverify"
 )
 
@@ -163,6 +164,7 @@ func perf() error {
 				avr.DecodeAt(img.Flash, uint32(i)%words)
 			}
 		}},
+		{"ScenarioReplay", benchScenarioReplay},
 		{"FrameEncode", benchFrameEncode},
 		{"FrameParse", benchFrameParse},
 		{"NetlinkRoundTrip", benchNetlinkRoundTrip},
@@ -176,6 +178,26 @@ func perf() error {
 			bench.name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
 	}
 	return nil
+}
+
+// benchScenarioReplay measures one full deterministic replay of the
+// v1-crash scenario (1.5s of simulated flight, firmware generation,
+// attack synthesis and trace emission) — the unit of work the golden
+// conformance gate performs per scenario.
+func benchScenarioReplay(b *testing.B) {
+	spec, err := scenario.Lookup("v1-crash")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Records) == 0 || res.Records[len(res.Records)-1].Kind != "verdict" {
+			b.Fatal("replay produced no verdict")
+		}
+	}
 }
 
 func benchHeartbeatFrame() *mavlink.Frame {

@@ -1,0 +1,218 @@
+// mavr-scenario runs, records and verifies the deterministic paper
+// scenarios (internal/scenario).
+//
+// Usage:
+//
+//	mavr-scenario list
+//	mavr-scenario run <name> [-spec file.json] [-o trace.jsonl]
+//	mavr-scenario record [-golden dir] [name ...]
+//	mavr-scenario verify [-golden dir] [-json] [name ...]
+//
+// run executes one scenario (a builtin name, or a JSON Spec via
+// -spec) and prints its canonical JSONL trace. record replays the
+// named scenarios (default: all builtins) and rewrites their golden
+// traces. verify replays against the checked-in golden traces and
+// exits 2 on the first divergence, printing a structured diff —
+// the conformance gate CI runs on every change.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mavr/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = list()
+	case "run":
+		err = run(os.Args[2:])
+	case "record":
+		err = record(os.Args[2:])
+	case "verify":
+		var diverged bool
+		diverged, err = verify(os.Args[2:])
+		if err == nil && diverged {
+			os.Exit(2)
+		}
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mavr-scenario:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mavr-scenario list
+  mavr-scenario run <name> [-spec file.json] [-o trace.jsonl]
+  mavr-scenario record [-golden dir] [name ...]
+  mavr-scenario verify [-golden dir] [-json] [name ...]`)
+}
+
+func list() error {
+	for _, s := range scenario.Builtin() {
+		fmt.Printf("%-36s %s\n", s.Name, s.Notes)
+	}
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	specPath := fs.String("spec", "", "JSON scenario spec file (instead of a builtin name)")
+	out := fs.String("o", "", "write the trace to this file (default stdout)")
+	// Accept the documented `run <name> [-o ...]` order: pop a leading
+	// positional name before flag parsing stops at it.
+	var name string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if name == "" && fs.NArg() == 1 {
+		name = fs.Arg(0)
+	}
+	var spec scenario.Spec
+	switch {
+	case *specPath != "":
+		raw, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			return fmt.Errorf("parsing %s: %w", *specPath, err)
+		}
+	case name != "":
+		var err error
+		spec, err = scenario.Lookup(name)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("run needs a builtin scenario name or -spec (see 'mavr-scenario list')")
+	}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := scenario.AppendTrace(w, res.Records); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d records, compromised=%v attackLanded=%v epochs=%d\n",
+		spec.Name, len(res.Records), res.Verdict.Compromised, res.Verdict.AttackLanded, res.Verdict.Final.Epoch)
+	return nil
+}
+
+// selectSpecs resolves positional names (default: every builtin).
+func selectSpecs(names []string) ([]scenario.Spec, error) {
+	if len(names) == 0 {
+		return scenario.Builtin(), nil
+	}
+	var specs []scenario.Spec
+	for _, n := range names {
+		s, err := scenario.Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+func goldenPath(dir, name string) string {
+	return filepath.Join(dir, name+".jsonl")
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	dir := fs.String("golden", "testdata/golden", "golden trace directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs, err := selectSpecs(fs.Args())
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	for _, spec := range specs {
+		res, err := scenario.Run(spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		path := goldenPath(*dir, spec.Name)
+		if err := os.WriteFile(path, []byte(res.Trace()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %-36s %4d records -> %s\n", spec.Name, len(res.Records), path)
+	}
+	return nil
+}
+
+func verify(args []string) (diverged bool, err error) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dir := fs.String("golden", "testdata/golden", "golden trace directory")
+	asJSON := fs.Bool("json", false, "print divergences as JSON")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	specs, err := selectSpecs(fs.Args())
+	if err != nil {
+		return false, err
+	}
+	for _, spec := range specs {
+		path := goldenPath(*dir, spec.Name)
+		golden, err := os.ReadFile(path)
+		if err != nil {
+			return false, fmt.Errorf("%s: no golden trace (run 'mavr-scenario record %s'): %w", spec.Name, spec.Name, err)
+		}
+		res, err := scenario.Run(spec)
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		if d := scenario.Compare(string(golden), res.Trace()); d != nil {
+			diverged = true
+			if *asJSON {
+				out, _ := json.Marshal(struct {
+					Scenario string               `json:"scenario"`
+					Golden   string               `json:"goldenFile"`
+					Diff     *scenario.Divergence `json:"diff"`
+				}{spec.Name, path, d})
+				fmt.Println(string(out))
+			} else {
+				fmt.Printf("FAIL %s (%s)\n%s", spec.Name, path, d)
+			}
+			continue
+		}
+		fmt.Printf("ok   %-36s %4d records match %s\n", spec.Name, len(res.Records), path)
+	}
+	return diverged, nil
+}

@@ -37,13 +37,21 @@ func assumedWriteMem(c uint32) *gadget.WriteMem {
 	}
 }
 
+// AssumeWriteMem returns a copy of the analysis whose write_mem gadget
+// is replaced with the shape a blind attacker assumes at candidate
+// word address c (§VIII-A derandomization probing). Payloads built
+// from the copy are the probes a gadget-hunting campaign fires.
+func (a *Analysis) AssumeWriteMem(c uint32) *Analysis {
+	trial := *a
+	trial.WriteMem = assumedWriteMem(c)
+	return &trial
+}
+
 // probeOnce boots a fresh copy of image (the victim power-cycles after
 // each crashed probe), fires a V1-style probe built on the candidate
 // gadget, and reports whether the marker write landed.
 func probeOnce(image []byte, geom *Analysis, candidate uint32, marker byte) (bool, error) {
-	trial := *geom
-	trial.WriteMem = assumedWriteMem(candidate)
-	payload, err := BuildV1(&trial, GyroCfgWrite(marker))
+	payload, err := BuildV1(geom.AssumeWriteMem(candidate), GyroCfgWrite(marker))
 	if err != nil {
 		return false, err
 	}

@@ -1,6 +1,7 @@
 package board_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -45,7 +46,9 @@ func TestLinkEndpointsConcurrentWithRun(t *testing.T) {
 			fr := &mavlink.Frame{MsgID: mavlink.MsgIDParamSet, SysID: 255, Seq: seq, Payload: ps.Marshal()}
 			seq++
 			sys.SendToUAV(fr.MarshalOversize())
-			time.Sleep(100 * time.Microsecond)
+			// Yield rather than sleep: the interleaving with the driver
+			// goroutine is what's under test, not wall-clock pacing.
+			runtime.Gosched()
 		}
 	}()
 
@@ -66,7 +69,7 @@ func TestLinkEndpointsConcurrentWithRun(t *testing.T) {
 			drainedMu.Lock()
 			drained += n
 			drainedMu.Unlock()
-			time.Sleep(100 * time.Microsecond)
+			runtime.Gosched()
 		}
 	}()
 

@@ -51,18 +51,12 @@ func TestPreprocessFindsDirectFunctionPointers(t *testing.T) {
 	// The scan must find every direct-table pointer (ground truth from
 	// the generator); stub-table pointers target fixed flash and are
 	// intentionally not flagged.
-	truth := make(map[uint32]bool)
-	for i, off := range img.PtrFlashOffsets {
-		if i >= img.Layout.SchedTableLen { // direct-table entries
-			truth[off] = true
-		}
-	}
 	found := make(map[uint32]bool)
 	for _, off := range p.PtrOffsets {
 		found[off] = true
 	}
-	for off := range truth {
-		if !found[off] {
+	for i, off := range img.PtrFlashOffsets {
+		if i >= img.Layout.SchedTableLen && !found[off] { // direct-table entries
 			t.Errorf("scan missed direct pointer at flash offset 0x%X", off)
 		}
 	}

@@ -185,8 +185,12 @@ func TestCountByKindAndDescribe(t *testing.T) {
 	if counts[gadget.KindWriteMem] == 0 {
 		t.Error("no write_mem gadgets in generated firmware")
 	}
-	total := 0
+	var perKind []int
 	for _, n := range counts {
+		perKind = append(perKind, n)
+	}
+	total := 0
+	for _, n := range perKind {
 		total += n
 	}
 	if total != len(gs) {

@@ -1,0 +1,174 @@
+package gcs_test
+
+// Edge-case coverage for the Monitor state machine using synthetic byte
+// streams: silence threshold boundaries, duplicated and out-of-order
+// pulse sequence numbers (what datagram duplication and reordering on
+// the netlink fabric actually produce), sequence wraparound, and
+// records split across Feed calls.
+
+import (
+	"testing"
+	"time"
+
+	"mavr/internal/firmware"
+	"mavr/internal/gcs"
+	"mavr/internal/mavlink"
+)
+
+func pulse(seq byte) []byte {
+	return []byte{firmware.PulseMagic, seq, 10, 0}
+}
+
+// VehicleSilent is a strict > comparison: a gap of exactly the
+// threshold is still tolerated, one step past it is not.
+func TestMonitorSilenceThresholdEdge(t *testing.T) {
+	m := &gcs.Monitor{}
+	m.Feed(pulse(1), 0)
+	m.Feed(nil, silenceThreshold)
+	if m.MaxSilence != silenceThreshold {
+		t.Fatalf("MaxSilence = %v, want %v", m.MaxSilence, silenceThreshold)
+	}
+	if m.VehicleSilent(silenceThreshold) {
+		t.Error("gap equal to the threshold flagged as silence")
+	}
+	m.Feed(nil, silenceThreshold+time.Microsecond)
+	if !m.VehicleSilent(silenceThreshold) {
+		t.Error("gap past the threshold not flagged")
+	}
+}
+
+// Silence is measured from the first received byte: a link that never
+// carried data is an unconnected link, not a silent vehicle.
+func TestMonitorNoTrafficIsNotSilence(t *testing.T) {
+	m := &gcs.Monitor{}
+	m.Feed(nil, 0)
+	m.Feed(nil, time.Hour)
+	if m.MaxSilence != 0 || m.VehicleSilent(silenceThreshold) {
+		t.Error("silence accumulated before any downlink data")
+	}
+	if m.CompromiseDetected(silenceThreshold) {
+		t.Error("empty link flagged as compromise")
+	}
+}
+
+// MaxSilence keeps the longest gap even after traffic resumes, so a
+// transient outage is still visible in the final verdict.
+func TestMonitorMaxSilenceRetainsLongestGap(t *testing.T) {
+	m := &gcs.Monitor{}
+	m.Feed(pulse(1), 0)
+	m.Feed(pulse(2), 150*time.Millisecond) // long gap
+	m.Feed(pulse(3), 160*time.Millisecond) // short gap
+	if m.MaxSilence != 150*time.Millisecond {
+		t.Errorf("MaxSilence = %v, want 150ms", m.MaxSilence)
+	}
+}
+
+// A duplicated datagram replays an already-seen sequence number. The
+// monitor books one gap for the replay (tolerant: link gap) and then
+// resynchronizes on the next in-order pulse.
+func TestMonitorDuplicatedPulseSeq(t *testing.T) {
+	m := &gcs.Monitor{TolerateLinkLoss: true}
+	for _, s := range []byte{1, 2, 2, 3} {
+		m.Feed(pulse(s), 0)
+	}
+	if m.Pulses != 4 {
+		t.Errorf("pulses = %d, want 4", m.Pulses)
+	}
+	if m.LinkGaps != 1 || m.SeqGaps != 0 {
+		t.Errorf("linkGaps=%d seqGaps=%d, want 1/0", m.LinkGaps, m.SeqGaps)
+	}
+	if m.CompromiseDetected(silenceThreshold) {
+		t.Error("tolerant monitor flagged a duplicated datagram")
+	}
+
+	strict := &gcs.Monitor{}
+	for _, s := range []byte{1, 2, 2, 3} {
+		strict.Feed(pulse(s), 0)
+	}
+	if strict.SeqGaps != 1 || !strict.CompromiseDetected(silenceThreshold) {
+		t.Errorf("strict monitor: seqGaps=%d, want 1 and a compromise verdict", strict.SeqGaps)
+	}
+}
+
+// Reordered datagrams break the expectation on both edges of the swap:
+// each displaced pulse counts as its own discontinuity.
+func TestMonitorOutOfOrderPulseSeq(t *testing.T) {
+	m := &gcs.Monitor{TolerateLinkLoss: true}
+	for _, s := range []byte{1, 3, 2, 4} {
+		m.Feed(pulse(s), 0)
+	}
+	if m.Pulses != 4 {
+		t.Errorf("pulses = %d, want 4", m.Pulses)
+	}
+	// 3 after 1 (expect 2), 2 after 3 (expect 4), 4 after 2 (expect 3).
+	if m.LinkGaps != 3 {
+		t.Errorf("linkGaps = %d, want 3", m.LinkGaps)
+	}
+}
+
+// The pulse sequence counter is a byte; 255 -> 0 is continuity, not a
+// discontinuity.
+func TestMonitorSeqWraparound(t *testing.T) {
+	m := &gcs.Monitor{}
+	m.Feed(pulse(254), 0)
+	m.Feed(pulse(255), 0)
+	m.Feed(pulse(0), 0)
+	m.Feed(pulse(1), 0)
+	if m.SeqGaps != 0 || m.LinkGaps != 0 {
+		t.Errorf("wraparound miscounted: seqGaps=%d linkGaps=%d", m.SeqGaps, m.LinkGaps)
+	}
+	if m.Pulses != 4 {
+		t.Errorf("pulses = %d, want 4", m.Pulses)
+	}
+}
+
+// The state machine is byte-oriented: a pulse and a full MAVLink frame
+// dribbled in one byte per Feed call parse identically to a single
+// contiguous delivery, and the dribble never reads as garbage.
+func TestMonitorRecordsSplitAcrossFeeds(t *testing.T) {
+	hb := &mavlink.Heartbeat{SystemStatus: mavlink.StateActive, MavlinkVersion: 3}
+	fr := &mavlink.Frame{MsgID: mavlink.MsgIDHeartbeat, SysID: 1, CompID: 1, Payload: hb.Marshal()}
+	wire, err := fr.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []byte
+	stream = append(stream, pulse(5)...)
+	stream = append(stream, wire...)
+	stream = append(stream, pulse(6)...)
+
+	m := &gcs.Monitor{}
+	for i, b := range stream {
+		m.Feed([]byte{b}, time.Duration(i)*time.Millisecond)
+	}
+	if m.Pulses != 2 || m.Heartbeats != 1 {
+		t.Errorf("pulses=%d heartbeats=%d, want 2/1", m.Pulses, m.Heartbeats)
+	}
+	if m.Garbage != 0 || m.HeartbeatErrors != 0 || m.SeqGaps != 0 {
+		t.Errorf("dribbled stream misparsed: garbage=%d frameErrors=%d seqGaps=%d",
+			m.Garbage, m.HeartbeatErrors, m.SeqGaps)
+	}
+	if m.CompromiseDetected(silenceThreshold) {
+		t.Error("clean dribbled stream flagged")
+	}
+}
+
+// Tolerant mode reclassifies gaps but must not dull the remaining
+// signals: after heavy link loss, prolonged silence still trips the
+// verdict, and LinkGaps alone never do.
+func TestMonitorLinkGapsVersusSilenceVerdicts(t *testing.T) {
+	m := &gcs.Monitor{TolerateLinkLoss: true}
+	for i, s := range []byte{1, 9, 17, 25} { // 3 gaps
+		m.Feed(pulse(s), time.Duration(i)*10*time.Millisecond)
+	}
+	if m.LinkGaps != 3 {
+		t.Fatalf("linkGaps = %d, want 3", m.LinkGaps)
+	}
+	if m.CompromiseDetected(silenceThreshold) {
+		t.Error("link gaps alone tripped the tolerant verdict")
+	}
+	m.Feed(nil, time.Second) // now the vehicle goes quiet
+	if !m.VehicleSilent(silenceThreshold) || !m.CompromiseDetected(silenceThreshold) {
+		t.Error("silence after link loss not detected")
+	}
+}

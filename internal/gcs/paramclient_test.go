@@ -1,0 +1,105 @@
+package gcs_test
+
+// Retry/timeout coverage for ParamClient beyond the happy path: the
+// error identity, the retransmission window arithmetic against a dead
+// vehicle, and a slow-ack round where the first window expires and a
+// retransmission salvages the write.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mavr/internal/board"
+	"mavr/internal/gcs"
+)
+
+func deadVehicleStation(t *testing.T) *gcs.GroundStation {
+	t.Helper()
+	img := testImage(t)
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{Seed: 1}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	// Never booted: the application processor spins through empty flash
+	// and will never acknowledge anything.
+	return gcs.NewGroundStation(sys)
+}
+
+// The exhausted-retries failure is the sentinel error, matchable with
+// errors.Is.
+func TestParamClientTimeoutErrorIdentity(t *testing.T) {
+	c := gcs.NewParamClient(deadVehicleStation(t))
+	c.Timeout = 30 * time.Millisecond
+	c.Retries = 1
+	_, err := c.Set("X", 1)
+	if !errors.Is(err, gcs.ErrParamTimeout) {
+		t.Fatalf("err = %v, want ErrParamTimeout", err)
+	}
+}
+
+// Against a dead vehicle the client spends one full window per attempt:
+// total simulated time is bounded below by (Retries+1)*Timeout and
+// above by that plus one polling step of slack per attempt.
+func TestParamClientRetryWindowAccounting(t *testing.T) {
+	g := deadVehicleStation(t)
+	c := gcs.NewParamClient(g)
+	c.Timeout = 40 * time.Millisecond
+	c.Retries = 2
+	start := g.Sys.Now()
+	if _, err := c.Set("X", 1); err == nil {
+		t.Fatal("ack from a dead vehicle")
+	}
+	elapsed := g.Sys.Now() - start
+	attempts := time.Duration(c.Retries + 1)
+	min := attempts * c.Timeout
+	max := attempts * (c.Timeout + 10*time.Millisecond)
+	if elapsed < min || elapsed > max {
+		t.Errorf("elapsed %v outside retry window [%v, %v]", elapsed, min, max)
+	}
+}
+
+// A round trip longer than the timeout window forces retransmission;
+// the retries must salvage the write rather than fail it, and the
+// duplicate PARAM_SETs each draw their own echo (the protocol is
+// idempotent, not deduplicating). The slow round trip is real: a noise
+// backlog on the half-duplex uplink serializes ahead of the PARAM_SET
+// at link baud, delaying its arrival by many polling windows.
+func TestParamClientRetryThenSuccess(t *testing.T) {
+	img := testImage(t)
+	g := unprotectedStation(t, img)
+	fly(t, g, 50*time.Millisecond)
+	g.Sys.SendToUAV(make([]byte, 1024)) // ~180ms of uplink serialization
+	c := gcs.NewParamClient(g)
+	c.Timeout = time.Millisecond // expires after a single 10ms poll
+	c.Retries = 200
+	echo, err := c.Set("RATE_PIT_P", 0)
+	if err != nil {
+		t.Fatalf("retries did not salvage a slow ack: %v", err)
+	}
+	if echo.ParamID != "RATE_PIT_P" {
+		t.Errorf("acked id %q", echo.ParamID)
+	}
+	// Drain the late echoes of the extra retransmissions.
+	before := g.Mon.ParamEchoes
+	fly(t, g, 300*time.Millisecond)
+	if g.Mon.ParamEchoes <= before {
+		t.Error("retransmitted PARAM_SETs produced no additional echoes")
+	}
+	if g.Mon.CompromiseDetected(silenceThreshold) {
+		t.Error("benign retransmission traffic tripped the monitor")
+	}
+}
+
+// Zero retries with a generous window still succeeds against a live
+// vehicle: a single round trip fits well inside the default timeout.
+func TestParamClientSingleAttemptSucceeds(t *testing.T) {
+	img := testImage(t)
+	g := unprotectedStation(t, img)
+	fly(t, g, 50*time.Millisecond)
+	c := gcs.NewParamClient(g)
+	c.Retries = 0
+	if _, err := c.Set("RATE_YAW_P", 2); err != nil {
+		t.Fatalf("single attempt failed: %v", err)
+	}
+}

@@ -12,7 +12,9 @@
 //
 // Files that legitimately touch the wall clock (UDP pacing, deadline
 // management) opt out with a `//mavr:wallclock` comment anywhere in the
-// file. Test files are exempt.
+// file. Test files are exempt by default; Options.IncludeTests (the
+// vettool's -dettests flag) extends the checks to them, with the same
+// per-file opt-out.
 //
 // The checker is pure stdlib (go/ast + go/types) so it can run as a
 // `go vet -vettool` without golang.org/x/tools; cmd/determinism-vet
@@ -39,6 +41,7 @@ func DeterministicImportPath(path string) bool {
 		"mavr/internal/gadget",
 		"mavr/internal/firmware",
 		"mavr/internal/core",
+		"mavr/internal/scenario",
 		"mavr/internal/staticverify":
 		return true
 	}
@@ -72,15 +75,32 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s", d.Pos, d.Message)
 }
 
-// CheckFiles lints the files of one package. info may be nil (or
+// Options configures a lint pass.
+type Options struct {
+	// IncludeTests extends the checks to _test.go files. Tests in
+	// deterministic packages that legitimately touch the wall clock
+	// (real-socket integration tests, latency measurements) opt out
+	// per file with the same //mavr:wallclock tag.
+	IncludeTests bool
+}
+
+// CheckFiles lints the files of one package with default options.
+func CheckFiles(fset *token.FileSet, files []*ast.File, info *types.Info) []Diagnostic {
+	return Check(fset, files, info, Options{})
+}
+
+// Check lints the files of one package. info may be nil (or
 // partially filled after a failed typecheck); the wall-clock and global
 // rand checks are purely syntactic, while the map-range check silently
 // degrades to the expressions the typechecker did resolve.
-func CheckFiles(fset *token.FileSet, files []*ast.File, info *types.Info) []Diagnostic {
+func Check(fset *token.FileSet, files []*ast.File, info *types.Info, opts Options) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range files {
 		name := fset.Position(f.Pos()).Filename
-		if strings.HasSuffix(name, "_test.go") || exempt(f) {
+		if strings.HasSuffix(name, "_test.go") && !opts.IncludeTests {
+			continue
+		}
+		if exempt(f) {
 			continue
 		}
 		imports := localImportNames(f)

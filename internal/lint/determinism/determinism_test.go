@@ -207,7 +207,7 @@ func now() time.Time { return time.Now() }
 	}
 }
 
-// Test files are exempt wholesale.
+// Test files are exempt wholesale by default.
 func TestTestFilesExempt(t *testing.T) {
 	diags := parseAndCheck(t, "clock_test.go", `package p
 
@@ -217,6 +217,37 @@ func helper() time.Time { return time.Now() }
 `)
 	if len(diags) != 0 {
 		t.Fatalf("test file flagged: %v", diags)
+	}
+}
+
+// Options.IncludeTests (the vettool's -dettests flag) extends the
+// checks to _test.go files, with the //mavr:wallclock opt-out intact.
+func TestIncludeTestsLintsTestFiles(t *testing.T) {
+	const src = `package p
+
+import "time"
+
+func helper() time.Time { return time.Now() }
+`
+	parse := func(name, src string) (*token.FileSet, []*ast.File) {
+		t.Helper()
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fset, []*ast.File{f}
+	}
+
+	fset, files := parse("clock_test.go", src)
+	diags := Check(fset, files, nil, Options{IncludeTests: true})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "time.Now") {
+		t.Fatalf("IncludeTests missed the test-file violation: %v", diags)
+	}
+
+	fset, files = parse("clock_test.go", "//mavr:wallclock\n\n"+src)
+	if diags := Check(fset, files, nil, Options{IncludeTests: true}); len(diags) != 0 {
+		t.Fatalf("tagged test file still flagged under IncludeTests: %v", diags)
 	}
 }
 

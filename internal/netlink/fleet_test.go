@@ -1,3 +1,6 @@
+//mavr:wallclock — these are real-UDP integration tests: socket
+// deadlines and latency measurement legitimately read the wall clock.
+
 package netlink
 
 import (

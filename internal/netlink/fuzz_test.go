@@ -1,0 +1,55 @@
+package netlink
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzDatagram holds the wire protocol to two invariants on arbitrary
+// input: Decode never panics, and both directions of the codec agree —
+// a datagram that decodes re-encodes byte-identically, and a datagram
+// built by Encode decodes back to exactly what went in.
+func FuzzDatagram(f *testing.F) {
+	f.Add(Encode(Header{Type: PacketHello, SysID: 1, Seq: 1}, nil))
+	f.Add(Encode(Header{Type: PacketData, SysID: 7, Seq: 42, SimTime: 1500 * time.Millisecond},
+		[]byte{0xA5, 0x01, 0x10, 0x00}))
+	f.Add(Encode(Header{Type: PacketBye, SysID: 255, Seq: ^uint32(0), SimTime: -1}, []byte("tail")))
+	f.Add([]byte{})                        // short
+	f.Add([]byte{'M', 'V'})                // short, magic only
+	f.Add([]byte("MV\x02noise padding..")) // bad version
+	f.Add([]byte("XYconservative length padding to header size"))
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		h, payload, err := Decode(pkt)
+		if err != nil {
+			if len(pkt) >= HeaderSize && pkt[0] == magic0 && pkt[1] == magic1 && pkt[2] == Version {
+				t.Fatalf("well-formed datagram rejected: %v", err)
+			}
+			return
+		}
+		// Decode accepts only full headers with our magic and version.
+		if len(pkt) < HeaderSize {
+			t.Fatalf("decoded a %d-byte datagram below HeaderSize", len(pkt))
+		}
+		if len(payload) != len(pkt)-HeaderSize {
+			t.Fatalf("payload length %d, want %d", len(payload), len(pkt)-HeaderSize)
+		}
+
+		// Re-encoding the decoded parts must reproduce the input exactly:
+		// the header has no hidden or lossy fields.
+		if re := Encode(h, payload); !bytes.Equal(re, pkt) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", pkt, re)
+		}
+
+		// And the other direction: a fresh Encode of the same logical
+		// datagram decodes to identical parts.
+		h2, p2, err := Decode(Encode(h, payload))
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if h2 != h || !bytes.Equal(p2, payload) {
+			t.Fatalf("round-trip disagreement: %+v/%x vs %+v/%x", h, payload, h2, p2)
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+)
+
+// Builtin returns the canonical paper scenarios, each locked down by a
+// golden trace in testdata/golden/<name>.jsonl. Together they pin the
+// paper's full claim set: the crash attack is loud, the stealthy
+// attacks are invisible, MAVR turns the stealthy attack into a
+// detected failure with in-flight recovery, and brute-force probing
+// never accumulates knowledge against a re-randomizing victim.
+func Builtin() []Spec {
+	return []Spec{
+		{
+			// §IV-C / §VII-A: V1 performs its write but destroys the
+			// stack; the board crashes and the ground station alarms.
+			Name:  "v1-crash",
+			Notes: "V1 write-mem chain lands its write, smashes the stack and crashes the board; the GCS detects the compromise",
+			Board: BoardUnprotected,
+			Seed:  1,
+			Run:   1500 * time.Millisecond,
+			Injections: []Injection{
+				{At: 200 * time.Millisecond, Kind: InjectV1, Value: 0x7F},
+			},
+		},
+		{
+			// §IV-D: the stealthy clean-return attack: same write, frame
+			// repaired, telemetry uninterrupted, GCS sees nothing.
+			Name:  "v2-stealthy-clean-return",
+			Notes: "V2 pivots into the buffer, writes, repairs the frame and returns cleanly; the GCS verdict stays clean",
+			Board: BoardUnprotected,
+			Seed:  1,
+			Run:   1500 * time.Millisecond,
+			Injections: []Injection{
+				{At: 200 * time.Millisecond, Kind: InjectV2, Value: 0x40},
+			},
+		},
+		{
+			// §IV-E: the trampoline — staged packets build a large chain
+			// in free SRAM, a final pivot executes it, all stealthy.
+			Name:  "v3-trampoline",
+			Notes: "V3 stages a multi-write chain into free SRAM over several stealthy packets, then pivots into it",
+			Board: BoardUnprotected,
+			Seed:  1,
+			Run:   2 * time.Second,
+			Injections: []Injection{
+				{At: 200 * time.Millisecond, Kind: InjectV3, Value: 0x33, Addr: 0x1900, StageWrites: 4},
+			},
+		},
+		{
+			// §V, §VII-A: the same stale V2 payload against MAVR: the
+			// chain misfires on the randomized layout, the watchdog
+			// detects the failure, the master re-randomizes and the
+			// vehicle recovers in flight.
+			Name:            "v2-vs-mavr-detected",
+			Notes:           "stale V2 payload vs the randomized board: write fails, master detects and re-randomizes, vehicle recovers",
+			Board:           BoardMAVR,
+			Seed:            7,
+			WatchdogTimeout: 20 * time.Millisecond,
+			Run:             3 * time.Second,
+			Injections: []Injection{
+				{At: 200 * time.Millisecond, Kind: InjectV2, Value: 0x7F},
+			},
+		},
+		{
+			// §V-D / §VIII-A: blind gadget probes against a
+			// re-randomizing victim over a lossy downlink — every probe
+			// triggers detection + a fresh epoch, so eliminations never
+			// accumulate, and datagram loss stays classified as link
+			// gaps rather than compromise.
+			Name:            "bruteforce-under-rerandomization",
+			Notes:           "three blind gadget probes, each detected and answered with a new randomization epoch; downlink loss tolerated",
+			Board:           BoardMAVR,
+			Seed:            11,
+			WatchdogTimeout: 20 * time.Millisecond,
+			Run:             6 * time.Second,
+			Link:            LinkSpec{DropRate: 0.03},
+			Injections: []Injection{
+				{At: 200 * time.Millisecond, Kind: InjectProbe, Candidate: 0x000400, Value: 0x7F},
+				{At: 2200 * time.Millisecond, Kind: InjectProbe, Candidate: 0x000800, Value: 0x7F},
+				{At: 4200 * time.Millisecond, Kind: InjectProbe, Candidate: 0x000C00, Value: 0x7F},
+			},
+		},
+	}
+}
+
+// Lookup resolves a builtin scenario by name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Builtin() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: no builtin scenario %q", name)
+}

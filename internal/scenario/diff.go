@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence is a structured first-divergence report between a golden
+// trace and a replay. Nil means byte-identical.
+type Divergence struct {
+	// Line is the 1-based line number of the first differing line.
+	Line int `json:"line"`
+	// Reason is "mismatch" (both traces have the line but it differs),
+	// "truncated" (the replay ended before the golden trace) or
+	// "extra" (the replay produced lines past the golden trace's end).
+	Reason string `json:"reason"`
+	// Golden and Got are the differing canonical lines ("" when one
+	// side has no line).
+	Golden string `json:"golden,omitempty"`
+	Got    string `json:"got,omitempty"`
+	// GoldenKind and GotKind are the parsed record kinds, when the
+	// lines parse, for at-a-glance reports.
+	GoldenKind string `json:"goldenKind,omitempty"`
+	GotKind    string `json:"gotKind,omitempty"`
+}
+
+func (d *Divergence) String() string {
+	if d == nil {
+		return "traces identical"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "first divergence at line %d (%s)\n", d.Line, d.Reason)
+	if d.Golden != "" {
+		fmt.Fprintf(&sb, "  golden: %s\n", d.Golden)
+	} else {
+		sb.WriteString("  golden: <end of trace>\n")
+	}
+	if d.Got != "" {
+		fmt.Fprintf(&sb, "  got:    %s\n", d.Got)
+	} else {
+		sb.WriteString("  got:    <end of trace>\n")
+	}
+	return sb.String()
+}
+
+// Compare reports the first divergence between two canonical traces,
+// or nil when they are byte-identical line for line.
+func Compare(golden, got string) *Divergence {
+	gl := splitLines(golden)
+	ol := splitLines(got)
+	n := len(gl)
+	if len(ol) < n {
+		n = len(ol)
+	}
+	for i := 0; i < n; i++ {
+		if gl[i] != ol[i] {
+			return &Divergence{
+				Line:       i + 1,
+				Reason:     "mismatch",
+				Golden:     gl[i],
+				Got:        ol[i],
+				GoldenKind: kindOf(gl[i]),
+				GotKind:    kindOf(ol[i]),
+			}
+		}
+	}
+	switch {
+	case len(gl) > len(ol):
+		return &Divergence{Line: n + 1, Reason: "truncated", Golden: gl[n], GoldenKind: kindOf(gl[n])}
+	case len(ol) > len(gl):
+		return &Divergence{Line: n + 1, Reason: "extra", Got: ol[n], GotKind: kindOf(ol[n])}
+	}
+	return nil
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimRight(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// kindOf extracts the "kind" field from a canonical line without a
+// full parse (best effort; "" when absent).
+func kindOf(line string) string {
+	const key = `"kind":"`
+	i := strings.Index(line, key)
+	if i < 0 {
+		return ""
+	}
+	rest := line[i+len(key):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}

@@ -1,0 +1,179 @@
+// Package scenario is the deterministic end-to-end harness that proves
+// the paper's attack→detection→recovery story as one replayable
+// artifact. A Spec declares a complete experiment — board build,
+// firmware profile, downlink fault schedule, timed attack injections,
+// defense toggles and a run length in simulated time — and Run drives
+// board.System + the netlink fault model + gcs.Monitor from that single
+// description, emitting a canonical JSONL trace of every observable
+// event: boots, randomization epochs, watchdog verdicts, reflashes,
+// faults, injected packets, per-frame MAVLink arrivals, pulse/link
+// gaps, garbage, periodic counter checkpoints and a final verdict.
+//
+// Everything downstream of the Spec is a pure function of it: the
+// firmware generator, the randomizing master, the attack payload
+// builder, the link fault schedule (netlink.SimConfig.Fate) and the
+// single-goroutine runner are all seeded, wall-clock-free and
+// map-iteration-free (enforced by the determinism vettool — this
+// package is in its deterministic set). Two runs of the same Spec
+// therefore produce byte-identical traces on any machine, under -race,
+// at any GOMAXPROCS — which is what makes the checked-in golden traces
+// in testdata/golden conformance tests rather than flaky snapshots:
+// any divergence from golden is a behaviour change, never noise.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"mavr/internal/firmware"
+)
+
+// Spec declares one scenario. The zero value of every field has a
+// sensible default (see withDefaults); a Spec is fully serializable so
+// scenarios can also be loaded from JSON.
+type Spec struct {
+	// Name identifies the scenario (and its golden trace file).
+	Name string `json:"name"`
+	// Notes documents what the scenario demonstrates.
+	Notes string `json:"notes,omitempty"`
+
+	// Board selects the build: "unprotected" (the attack target
+	// baseline), "software-only" (the §VIII-A strawman) or "mavr" (the
+	// full defense).
+	Board string `json:"board"`
+	// App is the firmware profile name: "testapp" (default),
+	// "arduplane", "arducopter" or "ardurover".
+	App string `json:"app,omitempty"`
+	// Seed drives every random choice in the scenario: the master's
+	// permutation source (or the software-only flash-time permutation).
+	Seed int64 `json:"seed"`
+
+	// WatchdogTimeout, RandomizeEvery and ProgramBaud tune the master
+	// (zero = board defaults). SkipVerify disables the pre-flash static
+	// verifier.
+	WatchdogTimeout time.Duration `json:"watchdogTimeoutNs,omitempty"`
+	RandomizeEvery  int           `json:"randomizeEvery,omitempty"`
+	ProgramBaud     int           `json:"programBaud,omitempty"`
+	SkipVerify      bool          `json:"skipVerify,omitempty"`
+
+	// Run is the simulated flight time after boot.
+	Run time.Duration `json:"runNs"`
+	// Step is the monitor feeding quantum (default 10ms).
+	Step time.Duration `json:"stepNs,omitempty"`
+	// Checkpoint is the counter-snapshot interval (default 500ms).
+	Checkpoint time.Duration `json:"checkpointNs,omitempty"`
+	// SilenceThreshold is the ground station's vehicle-silent alarm
+	// threshold (default 200ms).
+	SilenceThreshold time.Duration `json:"silenceThresholdNs,omitempty"`
+
+	// Link is the downlink fault schedule. The zero value is a perfect
+	// serial link; any impairment switches the transport to
+	// record-aligned datagrams and the monitor to TolerateLinkLoss.
+	Link LinkSpec `json:"link,omitempty"`
+
+	// Injections are the attacker's timed packets.
+	Injections []Injection `json:"injections,omitempty"`
+}
+
+// LinkSpec is the deterministic downlink fault schedule, applied per
+// record-aligned datagram via netlink.SimConfig.Fate.
+type LinkSpec struct {
+	// DropRate is the datagram loss probability in [0, 1].
+	DropRate float64 `json:"dropRate,omitempty"`
+	// DupRate is the probability a datagram is delivered twice.
+	DupRate float64 `json:"dupRate,omitempty"`
+}
+
+// Active reports whether the schedule impairs traffic at all.
+func (l LinkSpec) Active() bool { return l.DropRate > 0 || l.DupRate > 0 }
+
+// Injection is one timed attack from the malicious ground station.
+type Injection struct {
+	// At is the send time, measured in sim time from the end of boot.
+	At time.Duration `json:"atNs"`
+	// Kind selects the payload generation: "v1" (§IV-C crash-after
+	// write), "v2" (§IV-D stealthy clean return), "v3" (§IV-E
+	// trampoline) or "probe" (§VIII-A blind gadget guess at Candidate).
+	Kind string `json:"kind"`
+	// Addr is the data-space address of the 3-byte write (default
+	// firmware.AddrGyroCfg).
+	Addr uint16 `json:"addr,omitempty"`
+	// Value is the first written byte.
+	Value byte `json:"value"`
+	// StageWrites is the number of 3-byte writes a v3 attack stages
+	// (default 4); StageAddr is the staging area (default
+	// firmware.AddrFreeMem); Spacing separates the staged packets
+	// (default 30ms).
+	StageWrites int           `json:"stageWrites,omitempty"`
+	StageAddr   uint16        `json:"stageAddr,omitempty"`
+	Spacing     time.Duration `json:"spacingNs,omitempty"`
+	// Candidate is the word address a "probe" assumes the write_mem
+	// gadget lives at.
+	Candidate uint32 `json:"candidate,omitempty"`
+}
+
+// Board modes.
+const (
+	BoardUnprotected  = "unprotected"
+	BoardSoftwareOnly = "software-only"
+	BoardMAVR         = "mavr"
+)
+
+// Injection kinds.
+const (
+	InjectV1    = "v1"
+	InjectV2    = "v2"
+	InjectV3    = "v3"
+	InjectProbe = "probe"
+)
+
+func (s Spec) withDefaults() Spec {
+	if s.Board == "" {
+		s.Board = BoardUnprotected
+	}
+	if s.App == "" {
+		s.App = "testapp"
+	}
+	if s.Step == 0 {
+		s.Step = 10 * time.Millisecond
+	}
+	if s.Checkpoint == 0 {
+		s.Checkpoint = 500 * time.Millisecond
+	}
+	if s.SilenceThreshold == 0 {
+		s.SilenceThreshold = 200 * time.Millisecond
+	}
+	if s.Run == 0 {
+		s.Run = time.Second
+	}
+	return s
+}
+
+// appSpec resolves the firmware profile name.
+func (s Spec) appSpec() (firmware.AppSpec, error) {
+	if s.App == "" || s.App == "testapp" {
+		return firmware.TestApp(), nil
+	}
+	for _, p := range firmware.Profiles() {
+		if p.Name == s.App {
+			return p, nil
+		}
+	}
+	return firmware.AppSpec{}, fmt.Errorf("scenario: unknown app profile %q", s.App)
+}
+
+func (i Injection) withDefaults() Injection {
+	if i.Addr == 0 {
+		i.Addr = firmware.AddrGyroCfg
+	}
+	if i.StageWrites == 0 {
+		i.StageWrites = 4
+	}
+	if i.StageAddr == 0 {
+		i.StageAddr = firmware.AddrFreeMem
+	}
+	if i.Spacing == 0 {
+		i.Spacing = 30 * time.Millisecond
+	}
+	return i
+}

@@ -1,0 +1,197 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func goldenDir() string { return filepath.Join("..", "..", "testdata", "golden") }
+
+func readGolden(t *testing.T, name string) string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(goldenDir(), name+".jsonl"))
+	if err != nil {
+		t.Fatalf("golden trace missing (run 'mavr-scenario record'): %v", err)
+	}
+	return string(raw)
+}
+
+// The conformance suite: every builtin scenario must replay
+// byte-identically against its checked-in golden trace. Because this
+// test also runs under -race and arbitrary GOMAXPROCS in CI, passing
+// it proves the traces are execution-environment-independent.
+func TestGoldenConformance(t *testing.T) {
+	for _, spec := range Builtin() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			golden := readGolden(t, spec.Name)
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := Compare(golden, res.Trace()); d != nil {
+				t.Fatalf("trace diverged from golden:\n%s", d)
+			}
+		})
+	}
+}
+
+// Two runs of the same spec in the same process must be byte-identical
+// (no hidden shared state between runs).
+func TestTraceByteIdenticalAcrossRuns(t *testing.T) {
+	for _, name := range []string{"v1-crash", "v2-stealthy-clean-return"} {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := Compare(a.Trace(), b.Trace()); d != nil {
+			t.Fatalf("%s: repeated run diverged:\n%s", name, d)
+		}
+	}
+}
+
+// The golden traces must be sensitive: mutating any attack or defense
+// constant must flip at least one scenario to a structured divergence.
+// Each mutation perturbs exactly one knob of a builtin spec and
+// asserts the replay no longer matches that scenario's golden trace.
+func TestFaultInjectionFlipsGolden(t *testing.T) {
+	mutations := []struct {
+		name   string
+		base   string
+		mutate func(*Spec)
+	}{
+		{"attack-write-value", "v1-crash", func(s *Spec) { s.Injections[0].Value = 0x7E }},
+		{"attack-injection-time", "v2-stealthy-clean-return", func(s *Spec) { s.Injections[0].At += 10 * time.Millisecond }},
+		{"link-fault-schedule", "bruteforce-under-rerandomization", func(s *Spec) { s.Link.DropRate = 0.04 }},
+		// A probe crash halts the core, so detection latency is exactly
+		// the watchdog timeout — stretching it must shift every
+		// downstream event.
+		{"defense-watchdog-timeout", "bruteforce-under-rerandomization", func(s *Spec) { s.WatchdogTimeout = 200 * time.Millisecond }},
+		{"defense-programming-baud", "v2-vs-mavr-detected", func(s *Spec) { s.ProgramBaud = 553600 }},
+		{"defense-randomization-seed", "v2-vs-mavr-detected", func(s *Spec) { s.Seed++ }},
+		{"gcs-silence-threshold", "v2-stealthy-clean-return", func(s *Spec) { s.SilenceThreshold = 5 * time.Millisecond }},
+	}
+	for _, m := range mutations {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			spec, err := Lookup(m.base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := readGolden(t, m.base)
+			m.mutate(&spec)
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := Compare(golden, res.Trace())
+			if d == nil {
+				t.Fatalf("mutation %s left %s's trace identical — golden is not sensitive to it", m.name, m.base)
+			}
+			if d.Line <= 0 || d.Reason == "" {
+				t.Fatalf("divergence not structured: %+v", d)
+			}
+			if d.Reason == "mismatch" && (d.Golden == "" || d.Got == "") {
+				t.Fatalf("mismatch divergence missing line content: %+v", d)
+			}
+		})
+	}
+}
+
+func TestParseTraceRoundTrip(t *testing.T) {
+	spec, err := Lookup("v1-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseTrace(strings.NewReader(res.Trace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TraceString(recs); got != res.Trace() {
+		t.Fatal("parse/encode round trip not canonical")
+	}
+	if len(recs) != len(res.Records) {
+		t.Fatalf("round trip lost records: %d != %d", len(recs), len(res.Records))
+	}
+	last := recs[len(recs)-1]
+	if last.Kind != "verdict" || last.Verdict == nil {
+		t.Fatalf("final record is %q, want verdict", last.Kind)
+	}
+}
+
+func TestCompareReportsStructuredDivergence(t *testing.T) {
+	a := "{\"t\":1,\"kind\":\"boot\"}\n{\"t\":2,\"kind\":\"fault\"}\n"
+	if d := Compare(a, a); d != nil {
+		t.Fatalf("identical traces diverged: %v", d)
+	}
+	d := Compare(a, "{\"t\":1,\"kind\":\"boot\"}\n{\"t\":2,\"kind\":\"reflash\"}\n")
+	if d == nil || d.Line != 2 || d.Reason != "mismatch" || d.GoldenKind != "fault" || d.GotKind != "reflash" {
+		t.Fatalf("mismatch diff wrong: %+v", d)
+	}
+	d = Compare(a, "{\"t\":1,\"kind\":\"boot\"}\n")
+	if d == nil || d.Line != 2 || d.Reason != "truncated" {
+		t.Fatalf("truncated diff wrong: %+v", d)
+	}
+	d = Compare("{\"t\":1,\"kind\":\"boot\"}\n", a)
+	if d == nil || d.Line != 2 || d.Reason != "extra" {
+		t.Fatalf("extra diff wrong: %+v", d)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := Run(Spec{Name: "x", Board: "hovercraft"}); err == nil {
+		t.Error("unknown board accepted")
+	}
+	if _, err := Run(Spec{Name: "x", App: "spaceship"}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := Run(Spec{Name: "x", Run: 50 * time.Millisecond,
+		Injections: []Injection{{Kind: "v9"}}}); err == nil {
+		t.Error("unknown injection kind accepted")
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+}
+
+// A software-only board runs the harness too (the §VIII-A strawman):
+// the stale V2 attack against its fixed flash-time layout fails, and
+// no master exists to detect the failure or re-randomize.
+func TestSoftwareOnlyBoardNoRecovery(t *testing.T) {
+	res, err := Run(Spec{
+		Name:  "softonly",
+		Board: BoardSoftwareOnly,
+		Seed:  3,
+		Run:   800 * time.Millisecond,
+		Injections: []Injection{
+			{At: 100 * time.Millisecond, Kind: InjectV2, Value: 0x7F},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict.AttackLanded {
+		t.Error("stale V2 landed against a randomized layout")
+	}
+	if res.Verdict.Reflashes != 0 || res.Verdict.FailuresDetected != 0 {
+		t.Error("software-only board has no master to detect or reflash")
+	}
+	if res.Verdict.Final.Epoch != 0 {
+		t.Error("software-only board must never gain randomization epochs")
+	}
+}
