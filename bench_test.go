@@ -18,6 +18,7 @@ import (
 	"mavr/internal/firmware"
 	"mavr/internal/gadget"
 	"mavr/internal/mavlink"
+	"mavr/internal/scenario"
 )
 
 // --- Table I: number of functions ---------------------------------------
@@ -228,6 +229,27 @@ func BenchmarkCPUExecution(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(sim.CPU.Cycles-start)/float64(b.N), "cycles/op")
+}
+
+// BenchmarkScenarioReplay replays the richest golden scenario end to
+// end (firmware generation, boot, attack injection, MAVR response) —
+// the deterministic-harness workload the block translation engine is
+// meant to accelerate.
+func BenchmarkScenarioReplay(b *testing.B) {
+	spec, err := scenario.Lookup("v2-vs-mavr-detected")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var records int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := scenario.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = len(r.Records)
+	}
+	b.ReportMetric(float64(records), "records")
 }
 
 func BenchmarkRandomizeArduplane(b *testing.B) {

@@ -173,10 +173,20 @@ func perf() error {
 	fmt.Println("goarch: amd64")
 	fmt.Println("pkg: mavr/cmd/mavr-bench")
 	for _, bench := range benches {
-		r := testing.Benchmark(bench.fn)
-		fmt.Printf("Benchmark%s \t%8d\t%12.1f ns/op\n",
-			bench.name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
+		fn := bench.fn
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		fmt.Printf("Benchmark%s \t%8d\t%12.1f ns/op\t%8d B/op\t%8d allocs/op\n",
+			bench.name, r.N, float64(r.T.Nanoseconds())/float64(r.N),
+			r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
+	// Not benchstat input, hence the comment prefix: how much of the
+	// CPUExecution workload the block engine absorbed vs interpreted.
+	st := sim.CPU.TranslationStats()
+	fmt.Printf("# avr block engine: translated=%d invalidated=%d execs=%d bails=%d interp-steps=%d\n",
+		st.Translated, st.Invalidated, st.Execs, st.Bails, st.InterpSteps)
 	return nil
 }
 

@@ -52,6 +52,7 @@ func (c *CPU) fetch(pc uint32) Instr {
 // programmers) must call this; the CPU's own flash channels (LoadFlash,
 // SPM) invalidate automatically.
 func (c *CPU) InvalidateFlash(start, n uint32) {
+	c.bumpPageGens(start, n) // translated blocks share the contract
 	if c.decValid == nil || n == 0 {
 		return
 	}
@@ -78,9 +79,11 @@ func (c *CPU) InvalidateFlash(start, n uint32) {
 	}
 }
 
-// InvalidateAllFlash evicts every decode-cache line.
+// InvalidateAllFlash evicts every decode-cache line and every
+// translated block.
 func (c *CPU) InvalidateAllFlash() {
 	for i := range c.decValid {
 		c.decValid[i] = 0
 	}
+	c.bumpAllPageGens()
 }

@@ -86,8 +86,15 @@ type CPU struct {
 	Sleeping bool
 
 	// OnStep, when set, observes every instruction before it executes
-	// (used by tracing tools; nil in normal operation).
+	// (used by tracing tools; nil in normal operation). Setting it also
+	// disables the block translation engine so every step is observed.
 	OnStep func(pc uint32, in Instr)
+
+	// ForceInterpreter disables the block translation engine (block.go)
+	// so Run dispatches every instruction through the interpreter. New
+	// CPUs inherit it from the MAVR_AVR_INTERP=1 environment escape
+	// hatch; conformance tests set it directly.
+	ForceInterpreter bool
 
 	fault       *Fault
 	readHook    []IOReadFunc  // indexed by data-space address
@@ -101,15 +108,25 @@ type CPU struct {
 	// iff bit pc of decValid is set; both are allocated on first fetch.
 	decoded  []Instr
 	decValid []uint64
+
+	// Block translation engine state (see block.go). blocks[pc] caches
+	// the translation entered at pc; blockHeat gates translation to hot
+	// entries; pageGen holds per-flash-page generation counters that
+	// invalidate stale translations. All allocated on first use.
+	blocks    []*block
+	blockHeat []uint8
+	pageGen   []uint32
+	blkStats  BlockStats
 }
 
 // New returns a CPU with zeroed memories and SP initialized to the top
 // of SRAM, as avr-libc startup code would do.
 func New() *CPU {
 	c := &CPU{
-		Flash:  make([]byte, FlashSize),
-		Data:   make([]byte, DataSpaceSize),
-		EEPROM: make([]byte, EEPROMSize),
+		Flash:            make([]byte, FlashSize),
+		Data:             make([]byte, DataSpaceSize),
+		EEPROM:           make([]byte, EEPROMSize),
+		ForceInterpreter: forceInterpEnv,
 	}
 	c.installEEPROM()
 	c.SetSP(uint16(DataSpaceSize - 1))
@@ -333,7 +350,12 @@ func (c *CPU) Run(maxCycles uint64) (uint64, *Fault) {
 	}
 	// Tight dispatch loop: the fault check, interrupt window and sleep
 	// state are re-tested per instruction but all stay in registers; the
-	// instruction itself comes predecoded from the cache.
+	// instruction itself comes predecoded from the cache. Hot
+	// straight-line code leaves this loop entirely: translated basic
+	// blocks (block.go) execute whole runs of instructions per
+	// iteration, and the interpreter below remains the reference path
+	// for cold, traced, or interrupt-window code.
+	useBlocks := c.blocksEnabled()
 	for c.Cycles < end {
 		if c.fault != nil {
 			return c.Cycles - start, c.fault
@@ -353,11 +375,25 @@ func (c *CPU) Run(maxCycles uint64) (uint64, *Fault) {
 			c.raise(FaultPCOutOfRange, 0)
 			return c.Cycles - start, c.fault
 		}
+		if useBlocks && c.pendingInts == 0 && !c.intSuppress {
+			if b := c.blockFor(c.PC); b != nil && c.Cycles+b.cycles <= end {
+				// The block's worst-case cost fits the budget, so it
+				// stops at the same instruction boundary the
+				// interpreter would.
+				c.blkStats.Execs++
+				c.execBlock(b)
+				if c.fault != nil {
+					return c.Cycles - start, c.fault
+				}
+				continue
+			}
+		}
 		in := c.fetch(c.PC)
 		if c.OnStep != nil {
 			c.OnStep(c.PC, in)
 		}
 		c.exec(in)
+		c.blkStats.InterpSteps++
 		if c.fault != nil {
 			return c.Cycles - start, c.fault
 		}
@@ -367,13 +403,26 @@ func (c *CPU) Run(maxCycles uint64) (uint64, *Fault) {
 
 // RunUntil executes until pred returns true, a fault occurs, or maxCycles
 // elapse. It reports whether pred was satisfied.
+//
+// Like Run, a sleeping core fast-forwards the remaining budget: nothing
+// inside a RunUntil call can wake it (interrupt sources are raised
+// between calls), so pred is evaluated once more at the budget horizon
+// instead of stalling one cycle at a time.
 func (c *CPU) RunUntil(maxCycles uint64, pred func(*CPU) bool) (bool, *Fault) {
 	start := c.Cycles
-	for c.Cycles-start < maxCycles {
+	end := start + maxCycles
+	if end < start { // budget overflow: run to the end of time
+		end = ^uint64(0)
+	}
+	for c.Cycles < end {
 		if pred(c) {
 			return true, nil
 		}
 		if err := c.Step(); err != nil {
+			if err == ErrSleeping {
+				c.Cycles = end
+				return pred(c), nil
+			}
 			return false, c.fault
 		}
 	}

@@ -4,6 +4,8 @@ package avr
 // whole point is proving it indistinguishable from uncached decoding.
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 )
 
@@ -58,6 +60,110 @@ func FuzzDecode(f *testing.F) {
 			plain := Decode(wordAt(cpu.Flash, pc), wordAt(cpu.Flash, pc+1))
 			if cached := cpu.fetch(pc); cached != plain {
 				t.Fatalf("pc %d after rewrite: cached = %+v, uncached = %+v", pc, cached, plain)
+			}
+		}
+	})
+}
+
+// FuzzBlockExec is the differential conformance harness for the block
+// translation engine: the same flash image, register seed and stimulus
+// plan run on a ForceInterpreter CPU and a block-engine CPU in
+// lockstep, and every observable piece of state — registers, I/O,
+// SRAM, PC, cycle count, sleep state, interrupt latches and faults —
+// must match after every Run slice. Rounds repeat the image so entry
+// PCs cross the heat threshold and later rounds execute translated
+// blocks; the plan byte toggles interrupts between slices, an I/O
+// write hook that raises an interrupt mid-block, and a mid-corpus
+// flash rewrite with invalidation.
+func FuzzBlockExec(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00}, []byte{1, 2, 3}, byte(0))
+	// ldi r16,0x42 ; ldi r17,1 ; add r16,r17 ; rjmp .-8
+	f.Add([]byte{0x02, 0xE4, 0x11, 0xE0, 0x01, 0x0F, 0xFC, 0xCF}, []byte{0xFF}, byte(1))
+	// sei ; out 0x20,r16 ; nop ; rjmp .-8 (hook + SEI delay window)
+	f.Add([]byte{0x78, 0x94, 0x00, 0xB9, 0x00, 0x00, 0xFC, 0xCF}, []byte{0x80}, byte(3))
+	// push r0 x3 ; ret (stack traffic, PopPC of garbage)
+	f.Add([]byte{0x0F, 0x92, 0x0F, 0x92, 0x0F, 0x92, 0x08, 0x95}, []byte{7}, byte(2))
+	// cp/cpc chain into brbs (flag liveness across a branch)
+	f.Add([]byte{0x01, 0x17, 0x12, 0x07, 0x11, 0xF0, 0xFC, 0xCF}, []byte{9, 9, 1}, byte(5))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, []byte{}, byte(8))
+
+	f.Fuzz(func(t *testing.T, image, regs []byte, plan byte) {
+		if len(image) == 0 {
+			return
+		}
+		if len(image) > 2048 {
+			image = image[:2048]
+		}
+		hookAddr := uint16(IOBase + int(plan&0x3F))
+		budgets := []uint64{1, 3, 17, 151, 1024, 4096}
+
+		mk := func(force bool) *CPU {
+			c := New()
+			c.ForceInterpreter = force
+			if err := c.LoadFlash(image); err != nil {
+				t.Fatal(err)
+			}
+			if plan&2 != 0 {
+				c.HookWrite(hookAddr, func(byte) { c.RaiseInterrupt(VectorTimer0Ovf) })
+			}
+			if plan&4 != 0 {
+				c.HookRead(hookAddr, func(cur byte) byte { return cur ^ 0x5A })
+			}
+			return c
+		}
+		ref := mk(true)
+		blk := mk(false)
+
+		seed := func(c *CPU) {
+			c.Reset()
+			for i := 0; i < len(regs) && i < 32; i++ {
+				c.Data[i] = regs[i]
+			}
+			if len(regs) > 0 {
+				c.SetSREG(regs[0])
+			}
+		}
+		state := func(c *CPU) string {
+			return fmt.Sprintf("pc=%d cyc=%d sleep=%v supp=%v pend=%d fault=%+v",
+				c.PC, c.Cycles, c.Sleeping, c.intSuppress, c.pendingInts, c.Fault())
+		}
+
+		for round := 0; round < 6; round++ {
+			seed(ref)
+			seed(blk)
+			if plan&8 != 0 && round == 3 {
+				// Mid-corpus reprogramming, as MAVR's re-randomizer
+				// does: both CPUs rewrite and invalidate identically,
+				// so stale translations must retranslate.
+				n := len(image)
+				if n > 64 {
+					n = 64
+				}
+				for _, c := range []*CPU{ref, blk} {
+					for i := 0; i < n; i++ {
+						c.Flash[i] ^= 0xA5
+					}
+					c.InvalidateFlash(0, uint32(n))
+				}
+			}
+			for s, budget := range budgets {
+				ref.Run(budget)
+				blk.Run(budget)
+				if rs, bs := state(ref), state(blk); rs != bs {
+					t.Fatalf("round %d slice %d (budget %d): interp %s != block %s", round, s, budget, rs, bs)
+				}
+				if !bytes.Equal(ref.Data, blk.Data) {
+					for i := range ref.Data {
+						if ref.Data[i] != blk.Data[i] {
+							t.Fatalf("round %d slice %d: data[0x%04X] interp %02X != block %02X",
+								round, s, i, ref.Data[i], blk.Data[i])
+						}
+					}
+				}
+				if plan&1 != 0 {
+					ref.RaiseInterrupt(VectorTimer0Ovf)
+					blk.RaiseInterrupt(VectorTimer0Ovf)
+				}
 			}
 		}
 	})
