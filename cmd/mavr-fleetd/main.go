@@ -12,7 +12,15 @@
 //	mavr-fleetd [-n 8] [-addr 127.0.0.1:14550] [-metrics 127.0.0.1:9090]
 //	            [-protect] [-seed 1] [-rate 1.0] [-step 10ms]
 //	            [-drop 0.0] [-dup 0.0] [-latency 0] [-jitter 0] [-simseed 1]
-//	            [-session-timeout 5s] [-duration 0]
+//	            [-chaos-seed 0] [-chaos-panic 0] [-chaos-hang 0] [-chaos-stall 0]
+//	            [-chaos-partition-down 0] [-chaos-partition-up 0] [-chaos-corrupt 0]
+//	            [-restart-budget 8] [-session-timeout 5s] [-duration 0]
+//
+// The -chaos-* flags run the fleet under the deterministic chaos
+// engine (internal/chaos): scheduled driver panics are recovered by
+// the supervisor within -restart-budget consecutive restarts per
+// vehicle, after which the vehicle is parked as degraded (visible in
+// -metrics and the status line).
 //
 // The -metrics endpoint serves the fleet's counters as plain text
 // ("name value" per line) over HTTP at /metrics (any path works).
@@ -28,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"mavr/internal/chaos"
 	"mavr/internal/netlink"
 )
 
@@ -51,6 +60,15 @@ func run() error {
 	latency := flag.Duration("latency", 0, "link simulator: base one-way latency")
 	jitter := flag.Duration("jitter", 0, "link simulator: additional uniform random delay")
 	simSeed := flag.Int64("simseed", 1, "link simulator seed (fixed seed: same impairment schedule)")
+	var ch chaos.Config
+	flag.Int64Var(&ch.Seed, "chaos-seed", 0, "chaos schedule seed (same seed: same faults)")
+	flag.Float64Var(&ch.PanicRate, "chaos-panic", 0, "chaos: per-tick board driver panic probability")
+	flag.Float64Var(&ch.HangRate, "chaos-hang", 0, "chaos: per-tick board hang probability")
+	flag.Float64Var(&ch.StallRate, "chaos-stall", 0, "chaos: per-tick sim-clock stall probability")
+	flag.Float64Var(&ch.PartitionDownRate, "chaos-partition-down", 0, "chaos: per-window downlink partition probability")
+	flag.Float64Var(&ch.PartitionUpRate, "chaos-partition-up", 0, "chaos: per-window uplink partition probability")
+	flag.Float64Var(&ch.CorruptRate, "chaos-corrupt", 0, "chaos: per-datagram corruption probability")
+	restartBudget := flag.Int("restart-budget", 8, "supervised restarts per vehicle before it is parked as degraded (negative: no supervision)")
 	sessionTimeout := flag.Duration("session-timeout", 5*time.Second, "expire sessions with no uplink traffic after this long")
 	duration := flag.Duration("duration", 0, "exit after this much wall time (0: run until signalled)")
 	status := flag.Duration("status", 5*time.Second, "status line interval (0: quiet)")
@@ -70,6 +88,8 @@ func run() error {
 			Latency:  *latency,
 			Jitter:   *jitter,
 		},
+		Chaos:          ch,
+		RestartBudget:  *restartBudget,
 		SessionTimeout: *sessionTimeout,
 	})
 	if err != nil {
@@ -128,11 +148,15 @@ func run() error {
 
 func printStatus(f *netlink.Fleet) {
 	var minSim, maxSim time.Duration
-	alive := 0
+	alive, restarts, degraded := 0, 0, 0
 	for i, v := range f.Vehicles() {
 		s := v.Snapshot()
 		if s.Running {
 			alive++
+		}
+		restarts += s.Restarts
+		if s.Degraded {
+			degraded++
 		}
 		if i == 0 || s.SimTime < minSim {
 			minSim = s.SimTime
@@ -141,7 +165,7 @@ func printStatus(f *netlink.Fleet) {
 			maxSim = s.SimTime
 		}
 	}
-	fmt.Printf("fleetd: sim=[%v..%v] alive=%d/%d sessions=%d expired=%d\n",
+	fmt.Printf("fleetd: sim=[%v..%v] alive=%d/%d restarts=%d degraded=%d sessions=%d expired=%d\n",
 		minSim.Round(time.Millisecond), maxSim.Round(time.Millisecond),
-		alive, len(f.Vehicles()), f.Sessions(), f.ExpiredSessions())
+		alive, len(f.Vehicles()), restarts, degraded, f.Sessions(), f.ExpiredSessions())
 }

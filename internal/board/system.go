@@ -102,6 +102,21 @@ func (s *System) advanceClock(d time.Duration) time.Duration {
 	return time.Duration(s.clockNS.Add(int64(d)))
 }
 
+// FastForward advances the simulated clock to t if t is ahead of it
+// (never backwards). A supervisor replacing a crashed board fast-
+// forwards the fresh system to the predecessor's clock so the
+// vehicle's simulated time stays monotonic across restarts — ground
+// stations ignore regressing sim timestamps, and a clock jumping back
+// would mask real silence.
+func (s *System) FastForward(t time.Duration) {
+	for {
+		cur := s.clockNS.Load()
+		if int64(t) <= cur || s.clockNS.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
 // FlashFirmware runs the host-side preprocessing phase and uploads the
 // result to the external flash (or, on an unprotected board, programs
 // the application processor directly with the original binary). A

@@ -41,6 +41,18 @@ type Monitor struct {
 	// LastHeading is the most recent commanded heading.
 	LastHeading byte
 
+	// MaxLinkSilence is the longest span attributed to the link itself
+	// being down (no datagrams arriving at all), as reported by the
+	// feeder via NoteLinkOutage/FeedLinkIdle. Unlike MaxSilence it
+	// carries no implication about the vehicle: a partitioned radio and
+	// a healthy vehicle produce exactly this signature.
+	MaxLinkSilence time.Duration
+	// LinkOutages counts distinct link-down spans (NoteLinkOutage calls).
+	LinkOutages int
+	// CorruptDrops counts datagrams the transport rejected for failed
+	// integrity checks (NoteCorrupt) — wire damage surfacing as loss.
+	CorruptDrops int
+
 	// Heartbeats counts checksum-valid MAVLink HEARTBEAT frames.
 	Heartbeats int
 	// HeartbeatErrors counts frames that failed checksum validation.
@@ -57,10 +69,12 @@ type Monitor struct {
 	// LastEcho is the most recent parameter acknowledgement.
 	LastEcho *mavlink.ParamValue
 
-	started   bool
-	expectSeq byte
-	sawData   bool
-	lastData  time.Duration
+	started     bool
+	expectSeq   byte
+	sawData     bool
+	lastData    time.Duration
+	sawArrival  bool
+	lastArrival time.Duration
 
 	mode    monMode
 	pulse   []byte
@@ -78,13 +92,20 @@ const (
 )
 
 // Feed consumes downlink bytes received up to simulated time now. Call
-// it regularly (even with no data) so silence is measured.
+// it regularly (even with no data) so silence is measured. Every Feed
+// is an *arrival*: evidence that the link was delivering at time now.
+// When the feeder knows the link itself was down for a span (no
+// datagrams at all), it must report that span via NoteLinkOutage
+// instead, so the silence is charged to the link rather than the
+// vehicle.
 func (m *Monitor) Feed(data []byte, now time.Duration) {
 	if m.sawData {
 		if gap := now - m.lastData; gap > m.MaxSilence {
 			m.MaxSilence = gap
 		}
 	}
+	m.sawArrival = true
+	m.lastArrival = now
 	if len(data) > 0 {
 		m.sawData = true
 		m.lastData = now
@@ -93,6 +114,54 @@ func (m *Monitor) Feed(data []byte, now time.Duration) {
 		m.feedByte(b)
 	}
 }
+
+// FeedLinkIdle records that nothing has arrived between the last
+// arrival and (estimated) time now. It keeps MaxLinkSilence live while
+// an outage is still in progress; the outage is booked and the
+// vehicle-silence clock re-baselined when traffic resumes
+// (NoteLinkOutage).
+func (m *Monitor) FeedLinkIdle(now time.Duration) {
+	if !m.sawArrival {
+		return
+	}
+	if gap := now - m.lastArrival; gap > m.MaxLinkSilence {
+		m.MaxLinkSilence = gap
+	}
+}
+
+// NoteLinkOutage attributes the span since the last arrival to a dead
+// link: datagrams stopped arriving entirely, so nothing in that span
+// says anything about the vehicle. The span is excluded from the
+// vehicle-silence measurement (only telemetry silence observed while
+// the link was demonstrably alive counts), which is what keeps a pure
+// partition from tripping the stealth-attack verdict. Call it when
+// traffic resumes after a detected arrival gap, with the current
+// feeder time.
+func (m *Monitor) NoteLinkOutage(now time.Duration) {
+	if !m.sawArrival {
+		return
+	}
+	outage := now - m.lastArrival
+	if outage < 0 {
+		outage = 0
+	}
+	m.LinkOutages++
+	if outage > m.MaxLinkSilence {
+		m.MaxLinkSilence = outage
+	}
+	if m.sawData {
+		// Shift the telemetry-silence baseline past the outage,
+		// preserving only the pre-outage silence (lastArrival-lastData).
+		m.lastData = now - (m.lastArrival - m.lastData)
+	}
+	m.lastArrival = now
+}
+
+// NoteCorrupt records a datagram the transport dropped for a failed
+// integrity check — link degradation, never compromise evidence (a
+// record-aligned transport with checksums cannot deliver wire damage
+// as garbage).
+func (m *Monitor) NoteCorrupt() { m.CorruptDrops++ }
 
 func (m *Monitor) feedByte(b byte) {
 	switch m.mode {
@@ -200,4 +269,78 @@ func (m *Monitor) CompromiseDetected(silenceThreshold time.Duration) bool {
 // the link, went quiet.
 func (m *Monitor) VehicleSilent(threshold time.Duration) bool {
 	return m.MaxSilence > threshold
+}
+
+// LinkSilent reports whether the link itself was observed dead (no
+// arrivals) for longer than the threshold.
+func (m *Monitor) LinkSilent(threshold time.Duration) bool {
+	return m.MaxLinkSilence > threshold
+}
+
+// Health is the monitor's graded verdict: instead of the binary
+// compromised/clean answer, it separates the three failure identities
+// a fleet operator must react to differently — a dead link (redial,
+// don't scramble), a dead or wedged vehicle (the paper's compromise
+// signal; the master's watchdog is already recovering it), and a
+// degraded-but-working link (keep flying, expect gaps).
+type Health int
+
+// Health states, ordered from best to worst.
+const (
+	// HealthOK: telemetry flowing, no anomalies.
+	HealthOK Health = iota
+	// HealthDegraded: telemetry flowing through an impaired link —
+	// datagram loss, corruption drops or outages occurred, but nothing
+	// implicates the vehicle.
+	HealthDegraded
+	// HealthLinkDead: datagrams stopped arriving entirely for longer
+	// than the threshold. Deliberately NOT a compromise verdict: a dead
+	// link is indistinguishable from a dead ground radio.
+	HealthLinkDead
+	// HealthVehicleDead: the link was alive (datagrams arriving) but
+	// the vehicle produced no telemetry beyond the threshold — the
+	// paper's watchdog-visible failure signature.
+	HealthVehicleDead
+	// HealthCompromised: positive compromise evidence — garbage bytes,
+	// strict-mode sequence gaps, corrupt frames, or a non-active
+	// MAV_STATE.
+	HealthCompromised
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthOK:
+		return "ok"
+	case HealthDegraded:
+		return "degraded"
+	case HealthLinkDead:
+		return "link-dead"
+	case HealthVehicleDead:
+		return "vehicle-dead"
+	case HealthCompromised:
+		return "compromised"
+	}
+	return "unknown"
+}
+
+// Classify grades the monitor's whole observation history (worst state
+// seen, not the instantaneous state): positive compromise evidence
+// first, then vehicle silence, then link death, then degradation.
+func (m *Monitor) Classify(silenceThreshold time.Duration) Health {
+	if m.Garbage > 0 || m.SeqGaps > 0 || m.HeartbeatErrors > 0 {
+		return HealthCompromised
+	}
+	if m.Heartbeats > 0 && m.LastStatus != mavlink.StateActive {
+		return HealthCompromised
+	}
+	if m.VehicleSilent(silenceThreshold) {
+		return HealthVehicleDead
+	}
+	if m.LinkSilent(silenceThreshold) {
+		return HealthLinkDead
+	}
+	if m.LinkGaps > 0 || m.CorruptDrops > 0 || m.LinkOutages > 0 {
+		return HealthDegraded
+	}
+	return HealthOK
 }

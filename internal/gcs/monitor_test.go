@@ -172,3 +172,102 @@ func TestMonitorLinkGapsVersusSilenceVerdicts(t *testing.T) {
 		t.Error("silence after link loss not detected")
 	}
 }
+
+// A pure link outage — datagrams stop arriving entirely, then resume —
+// must never be charged to the vehicle: NoteLinkOutage re-baselines the
+// vehicle-silence clock, books the span as link silence, and the final
+// classification is link-dead/degraded rather than compromise.
+func TestMonitorLinkOutageIsNotVehicleSilence(t *testing.T) {
+	m := &gcs.Monitor{TolerateLinkLoss: true}
+	m.Feed(pulse(1), 0)
+	m.Feed(pulse(2), 50*time.Millisecond)
+	// 400ms of total arrival silence: a partition, twice the threshold.
+	m.FeedLinkIdle(250 * time.Millisecond)
+	if m.MaxLinkSilence != 200*time.Millisecond {
+		t.Fatalf("MaxLinkSilence = %v during outage", m.MaxLinkSilence)
+	}
+	m.NoteLinkOutage(450 * time.Millisecond)
+	m.Feed(pulse(3), 455*time.Millisecond)
+	if m.VehicleSilent(silenceThreshold) {
+		t.Errorf("partition charged as vehicle silence: MaxSilence=%v", m.MaxSilence)
+	}
+	if !m.LinkSilent(silenceThreshold) {
+		t.Errorf("outage not booked as link silence: MaxLinkSilence=%v", m.MaxLinkSilence)
+	}
+	if m.LinkOutages != 1 {
+		t.Errorf("LinkOutages = %d, want 1", m.LinkOutages)
+	}
+	if m.CompromiseDetected(silenceThreshold) {
+		t.Error("pure link outage flagged as compromise")
+	}
+	if got := m.Classify(silenceThreshold); got != gcs.HealthLinkDead {
+		t.Errorf("Classify = %v, want link-dead", got)
+	}
+}
+
+// NoteLinkOutage preserves silence accrued while the link was still
+// alive: pre-outage vehicle silence plus post-outage vehicle silence
+// both count, only the unattributable outage span is excluded.
+func TestMonitorOutagePreservesPreOutageSilence(t *testing.T) {
+	m := &gcs.Monitor{TolerateLinkLoss: true}
+	m.Feed(pulse(1), 0)
+	// 150ms of alive-link silence (beacons with no telemetry).
+	m.Feed(nil, 150*time.Millisecond)
+	// Then the link dies for 10 seconds.
+	m.NoteLinkOutage(10150 * time.Millisecond)
+	// Link back; vehicle still silent for another 100ms.
+	m.Feed(nil, 10250*time.Millisecond)
+	want := 250 * time.Millisecond
+	if m.MaxSilence != want {
+		t.Errorf("MaxSilence = %v, want %v (150ms pre + 100ms post outage)", m.MaxSilence, want)
+	}
+	if !m.VehicleSilent(silenceThreshold) {
+		t.Error("accumulated alive-link silence past threshold not flagged")
+	}
+	if got := m.Classify(silenceThreshold); got != gcs.HealthVehicleDead {
+		t.Errorf("Classify = %v, want vehicle-dead", got)
+	}
+}
+
+// The graded taxonomy: ok → degraded (corrupt drops / link gaps) →
+// compromised (garbage), in severity order.
+func TestMonitorClassifyOrdering(t *testing.T) {
+	m := &gcs.Monitor{TolerateLinkLoss: true}
+	m.Feed(pulse(1), 0)
+	m.Feed(pulse(2), 10*time.Millisecond)
+	if got := m.Classify(silenceThreshold); got != gcs.HealthOK {
+		t.Fatalf("clean link Classify = %v", got)
+	}
+	m.NoteCorrupt()
+	if got := m.Classify(silenceThreshold); got != gcs.HealthDegraded {
+		t.Fatalf("after corrupt drop Classify = %v, want degraded", got)
+	}
+	m.Feed(pulse(9), 20*time.Millisecond) // tolerated gap
+	if m.LinkGaps == 0 {
+		t.Fatal("tolerant gap not booked")
+	}
+	if got := m.Classify(silenceThreshold); got != gcs.HealthDegraded {
+		t.Fatalf("after link gap Classify = %v, want degraded", got)
+	}
+	m.Feed([]byte{0xEE}, 30*time.Millisecond) // garbage byte
+	if got := m.Classify(silenceThreshold); got != gcs.HealthCompromised {
+		t.Fatalf("after garbage Classify = %v, want compromised", got)
+	}
+	if !m.CompromiseDetected(silenceThreshold) {
+		t.Error("Classify and CompromiseDetected disagree on garbage")
+	}
+}
+
+// Health values render stable names (they appear in traces and
+// metrics).
+func TestHealthStrings(t *testing.T) {
+	for h, want := range map[gcs.Health]string{
+		gcs.HealthOK: "ok", gcs.HealthDegraded: "degraded",
+		gcs.HealthLinkDead: "link-dead", gcs.HealthVehicleDead: "vehicle-dead",
+		gcs.HealthCompromised: "compromised", gcs.Health(99): "unknown",
+	} {
+		if h.String() != want {
+			t.Errorf("Health(%d).String() = %q, want %q", int(h), h, want)
+		}
+	}
+}

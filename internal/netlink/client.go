@@ -5,6 +5,7 @@
 package netlink
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"time"
@@ -13,6 +14,10 @@ import (
 	"mavr/internal/mavlink"
 )
 
+// maxUplinkQueue bounds the client's outgoing data queue: a wedged
+// socket sheds the oldest frames instead of growing without bound.
+const maxUplinkQueue = 256
+
 // ClientConfig tunes a ground-station client.
 type ClientConfig struct {
 	// SysID is the vehicle to watch (1-based fleet system id).
@@ -20,6 +25,14 @@ type ClientConfig struct {
 	// Keepalive is the hello interval maintaining the session (wall
 	// clock; default 500ms).
 	Keepalive time.Duration
+	// LinkIdle is the wall-clock arrival gap after which the client
+	// declares the link dead: the silence is charged to the link (not
+	// the vehicle) and the session is re-helloed under a new epoch when
+	// traffic resumes. Default 250ms; negative disables outage
+	// detection. Deliberately keyed on wall-clock arrivals, not the
+	// carried sim clocks — a recovering vehicle's sim clock jumps while
+	// beacons keep arriving, and that gap belongs to the vehicle.
+	LinkIdle time.Duration
 	// Rate estimates vehicle sim time during total downlink loss, in
 	// simulated seconds per wall second. 0 (the default) disables the
 	// estimate: silence is then measured purely from the sim clocks
@@ -32,9 +45,10 @@ type ClientConfig struct {
 }
 
 // Client is one ground station's view of one vehicle over UDP: it
-// maintains the session, feeds received telemetry records to a
-// gcs.Monitor (in link-loss-tolerant mode) and transmits uplink
-// frames, including the paper's oversize attack frames.
+// maintains the session (re-helloing with a fresh epoch after link
+// outages), feeds received telemetry records to a gcs.Monitor (in
+// link-loss-tolerant mode) and transmits uplink frames through a
+// bounded retry queue, including the paper's oversize attack frames.
 type Client struct {
 	cfg   ClientConfig
 	conn  *net.UDPConn
@@ -44,25 +58,32 @@ type Client struct {
 	mon         gcs.Monitor
 	txSeq       uint32
 	frameSeq    byte
+	epoch       uint32
+	outage      bool
 	rxInit      bool
 	rxNext      uint32
 	lastSim     time.Duration
 	lastArrival time.Time
 
+	up        chan []byte
 	stop      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 }
 
-// DialClient connects to a fleet server and starts the receive and
-// keepalive loops. The session is established by the first hello; the
-// server starts streaming that vehicle's telemetry on its next tick.
+// DialClient connects to a fleet server and starts the receive,
+// keepalive and uplink loops. The session is established by the first
+// hello; the server starts streaming that vehicle's telemetry on its
+// next tick.
 func DialClient(addr string, cfg ClientConfig) (*Client, error) {
 	if cfg.SysID == 0 {
 		cfg.SysID = 1
 	}
 	if cfg.Keepalive <= 0 {
 		cfg.Keepalive = 500 * time.Millisecond
+	}
+	if cfg.LinkIdle == 0 {
+		cfg.LinkIdle = 250 * time.Millisecond
 	}
 	raddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -73,14 +94,29 @@ func DialClient(addr string, cfg ClientConfig) (*Client, error) {
 		return nil, err
 	}
 	_ = conn.SetReadBuffer(1 << 20)
-	c := &Client{cfg: cfg, conn: conn, stop: make(chan struct{})}
+	c := &Client{
+		cfg:  cfg,
+		conn: conn,
+		up:   make(chan []byte, maxUplinkQueue),
+		stop: make(chan struct{}),
+	}
 	c.mon.TolerateLinkLoss = !cfg.Strict
-	c.sendDatagram(PacketHello, nil)
+	c.sendDatagram(PacketHello, c.helloPayload())
 
-	c.wg.Add(2)
+	c.wg.Add(3)
 	go c.recvLoop()
 	go c.keepaliveLoop()
+	go c.uplinkLoop()
 	return c, nil
+}
+
+// helloPayload carries the session epoch (4 bytes big endian): the
+// server resets its uplink tracking whenever the epoch changes.
+func (c *Client) helloPayload() []byte {
+	c.mu.Lock()
+	e := c.epoch
+	c.mu.Unlock()
+	return []byte{byte(e >> 24), byte(e >> 16), byte(e >> 8), byte(e)}
 }
 
 // SendFrame assigns the session's MAVLink sequence number and
@@ -102,15 +138,68 @@ func (c *Client) SendRaw(payload []byte) {
 	c.sendDatagram(PacketData, payload)
 }
 
+// sendDatagram numbers and encodes a datagram. Control datagrams
+// (hello/bye) are written straight to the socket; data datagrams go
+// through the bounded uplink queue, which drops the oldest entry under
+// backpressure and retries transient write failures with backoff.
 func (c *Client) sendDatagram(t PacketType, payload []byte) {
 	c.mu.Lock()
 	seq := c.txSeq
 	c.txSeq++
 	c.mu.Unlock()
 	pkt := Encode(Header{Type: t, SysID: c.cfg.SysID, Seq: seq}, payload)
-	if _, err := c.conn.Write(pkt); err == nil {
-		c.stats.DatagramsOut.Add(1)
-		c.stats.BytesOut.Add(uint64(len(pkt)))
+	if t != PacketData {
+		c.write(pkt)
+		return
+	}
+	for {
+		select {
+		case c.up <- pkt:
+			return
+		default:
+		}
+		select {
+		case <-c.up:
+			c.stats.QueueDropped.Add(1)
+		default:
+		}
+	}
+}
+
+// write transmits one datagram, reporting success.
+func (c *Client) write(pkt []byte) bool {
+	if _, err := c.conn.Write(pkt); err != nil {
+		return false
+	}
+	c.stats.DatagramsOut.Add(1)
+	c.stats.BytesOut.Add(uint64(len(pkt)))
+	return true
+}
+
+// uplinkLoop drains the data queue. A failed write retries a few times
+// with doubling backoff (transient socket pressure), then the datagram
+// is shed — UDP semantics, but without silently wedging the caller.
+func (c *Client) uplinkLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case pkt := <-c.up:
+			backoff := 5 * time.Millisecond
+			for attempt := 0; !c.write(pkt); attempt++ {
+				if attempt >= 3 {
+					c.stats.QueueDropped.Add(1)
+					break
+				}
+				select {
+				case <-c.stop:
+					return
+				case <-time.After(backoff):
+				}
+				backoff *= 2
+			}
+		}
 	}
 }
 
@@ -119,6 +208,21 @@ func (c *Client) Monitor() gcs.Monitor {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.mon
+}
+
+// Health grades the link/vehicle state from the monitor's history.
+func (c *Client) Health(silenceThreshold time.Duration) gcs.Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mon.Classify(silenceThreshold)
+}
+
+// Epoch returns the current session epoch (bumped per detected link
+// outage).
+func (c *Client) Epoch() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
 }
 
 // Stats returns the client-side link counters.
@@ -156,6 +260,7 @@ func (c *Client) recvLoop() {
 		n, err := c.conn.Read(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				c.checkLinkIdle()
 				c.feedSilence()
 				continue
 			}
@@ -167,7 +272,19 @@ func (c *Client) recvLoop() {
 			}
 		}
 		h, payload, err := Decode(buf[:n])
-		if err != nil || h.SysID != c.cfg.SysID {
+		if err != nil {
+			if errors.Is(err, ErrChecksum) {
+				// Wire damage caught by the transport: the datagram is
+				// lost whole, booked as degradation, and the stream stays
+				// clean — no garbage ever reaches the monitor.
+				c.stats.CorruptDatagrams.Add(1)
+				c.mu.Lock()
+				c.mon.NoteCorrupt()
+				c.mu.Unlock()
+			}
+			continue
+		}
+		if h.SysID != c.cfg.SysID {
 			continue
 		}
 		c.stats.DatagramsIn.Add(1)
@@ -179,6 +296,14 @@ func (c *Client) recvLoop() {
 			c.lastSim = h.SimTime
 		}
 		c.lastArrival = time.Now()
+		if c.outage {
+			// Traffic resumed after a declared outage: charge the whole
+			// span to the link and re-baseline vehicle silence before
+			// feeding, so a healed partition never reads as a silent
+			// vehicle.
+			c.outage = false
+			c.mon.NoteLinkOutage(c.lastSim)
+		}
 		// Feed at the datagram's own sim timestamp: gaps between
 		// received sim clocks measure vehicle silence in simulated
 		// time, immune to host scheduling.
@@ -187,15 +312,54 @@ func (c *Client) recvLoop() {
 	}
 }
 
+// checkLinkIdle runs on receive timeouts: once the wall-clock arrival
+// gap exceeds LinkIdle the link is declared dead — MaxLinkSilence
+// tracks the (estimated) outage live, the epoch is bumped and a
+// re-hello goes out so the server rebuilds the session when the link
+// heals.
+func (c *Client) checkLinkIdle() {
+	if c.cfg.LinkIdle <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.lastArrival.IsZero() {
+		c.mu.Unlock()
+		return
+	}
+	gap := time.Since(c.lastArrival)
+	if gap <= c.cfg.LinkIdle {
+		c.mu.Unlock()
+		return
+	}
+	rate := c.cfg.Rate
+	if rate <= 0 {
+		rate = 1
+	}
+	c.mon.FeedLinkIdle(c.lastSim + time.Duration(float64(gap)*rate))
+	rehello := !c.outage
+	if rehello {
+		c.outage = true
+		c.epoch++
+		c.stats.Rehellos.Add(1)
+	}
+	c.mu.Unlock()
+	if rehello {
+		c.sendDatagram(PacketHello, c.helloPayload())
+	}
+}
+
 // feedSilence advances the monitor's notion of time while nothing is
 // arriving, so total downlink loss (dead fleet) still registers as
-// silence when a Rate estimate is configured.
+// silence when a Rate estimate is configured. Once an outage has been
+// declared (LinkIdle crossed) the span is the link's, not the
+// vehicle's, and estimation stops — otherwise a partition would
+// masquerade as a silent vehicle.
 func (c *Client) feedSilence() {
 	if c.cfg.Rate <= 0 {
 		return
 	}
 	c.mu.Lock()
-	if !c.lastArrival.IsZero() {
+	if !c.lastArrival.IsZero() && !c.outage {
 		est := c.lastSim + time.Duration(float64(time.Since(c.lastArrival))*c.cfg.Rate)
 		c.mon.Feed(nil, est)
 	}
@@ -230,7 +394,7 @@ func (c *Client) keepaliveLoop() {
 		case <-c.stop:
 			return
 		case <-ticker.C:
-			c.sendDatagram(PacketHello, nil)
+			c.sendDatagram(PacketHello, c.helloPayload())
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mavr/internal/board"
+	"mavr/internal/chaos"
 	"mavr/internal/firmware"
 )
 
@@ -41,6 +42,22 @@ type FleetConfig struct {
 	Rate float64
 	// Sim impairs every link through the deterministic link simulator.
 	Sim SimConfig
+	// Chaos injects the deterministic fault schedule: board panics,
+	// hangs and clock stalls realized by the driver goroutines, link
+	// partitions and datagram corruption realized on the send/receive
+	// paths. The zero value injects nothing.
+	Chaos chaos.Config
+	// RestartBudget caps consecutive supervised restarts per vehicle
+	// before it is parked as degraded (default 8; negative disables
+	// supervision — the first crash degrades the vehicle).
+	RestartBudget int
+	// MaxSessions caps the session table; joins beyond the cap are
+	// rejected and counted (default 1024).
+	MaxSessions int
+	// DrainTimeout bounds Close: if the driver/read/reap goroutines
+	// have not drained by then, Close gives up and reports the leak
+	// instead of hanging the caller (default 5s).
+	DrainTimeout time.Duration
 	// SessionTimeout expires sessions with no uplink datagrams (wall
 	// clock; default 5s).
 	SessionTimeout time.Duration
@@ -62,6 +79,15 @@ func (c FleetConfig) withDefaults() FleetConfig {
 	if c.Step <= 0 {
 		c.Step = 10 * time.Millisecond
 	}
+	if c.RestartBudget == 0 {
+		c.RestartBudget = 8
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
 	if c.SessionTimeout <= 0 {
 		c.SessionTimeout = 5 * time.Second
 	}
@@ -80,22 +106,47 @@ type VehicleSnapshot struct {
 	Running   bool
 	GyroCfg   byte
 	Reflashes int
+	// Restarts counts supervised driver restarts after crashes.
+	Restarts int
+	// Degraded is set when the restart budget is exhausted: the
+	// vehicle is parked and no longer simulated.
+	Degraded bool
 }
 
 // Vehicle is one hosted UAV: a board.System plus its downlink
-// packetization state. Sys must only be touched directly once the
-// fleet is closed (the driver goroutine owns it while running); use
-// Snapshot for live observation.
+// packetization state. The system must only be touched directly once
+// the fleet is closed (the driver goroutine owns it while running);
+// use Snapshot for live observation.
 type Vehicle struct {
 	SysID byte
-	Sys   *board.System
+
+	// sys is swapped by the supervisor when a crashed board is rebuilt,
+	// so reads go through the pointer.
+	sys atomic.Pointer[board.System]
 
 	splitter   StreamSplitter
 	lastBeacon time.Duration
 	ticks      uint64
-	snap       atomic.Value // VehicleSnapshot
-	runErr     atomic.Value // error
+
+	// Chaos hold window: while ticks < holdUntil the board is hung or
+	// stalled (holdKind) and no new fates are drawn. heldTicks feeds
+	// the pacer, whose wall schedule must keep moving while the sim
+	// clock is frozen.
+	holdUntil uint64
+	holdKind  chaos.BoardFaultKind
+	holdStart uint64
+	heldTicks uint64
+
+	restarts atomic.Uint32
+	degraded atomic.Bool
+	snap     atomic.Value // VehicleSnapshot
+	runErr   atomic.Value // error
 }
+
+// Sys returns the vehicle's current board. Only inspect it directly
+// once the fleet is closed; the driver goroutine owns it while
+// running, and the supervisor replaces it after a crash.
+func (v *Vehicle) Sys() *board.System { return v.sys.Load() }
 
 // Snapshot returns the vehicle's last published state.
 func (v *Vehicle) Snapshot() VehicleSnapshot {
@@ -103,37 +154,55 @@ func (v *Vehicle) Snapshot() VehicleSnapshot {
 	return s
 }
 
-// Err returns the simulation error that stopped the vehicle, if any.
+// Err returns the most recent simulation error or recovered panic that
+// crashed the vehicle's driver, if any.
 func (v *Vehicle) Err() error {
 	err, _ := v.runErr.Load().(error)
 	return err
 }
 
+// Restarts returns how many times the supervisor restarted the
+// vehicle.
+func (v *Vehicle) Restarts() int { return int(v.restarts.Load()) }
+
+// Degraded reports whether the vehicle exhausted its restart budget
+// and is parked.
+func (v *Vehicle) Degraded() bool { return v.degraded.Load() }
+
 func (v *Vehicle) publish() {
+	sys := v.sys.Load()
 	v.snap.Store(VehicleSnapshot{
 		SysID:     v.SysID,
-		SimTime:   v.Sys.Now(),
+		SimTime:   sys.Now(),
 		Ticks:     v.ticks,
-		Running:   v.Sys.App.Running(),
-		GyroCfg:   v.Sys.App.CPU.Data[firmware.AddrGyroCfg],
-		Reflashes: len(v.Sys.Reflashes()),
+		Running:   sys.App.Running(),
+		GyroCfg:   sys.App.CPU.Data[firmware.AddrGyroCfg],
+		Reflashes: len(sys.Reflashes()),
+		Restarts:  int(v.restarts.Load()),
+		Degraded:  v.degraded.Load(),
 	})
 }
 
 // Fleet hosts N simulated UAVs behind one UDP socket: per-vehicle
-// driver goroutines advance the boards, a read loop demultiplexes
-// uplink datagrams into per-session state and vehicle uplinks, and
-// downlink telemetry is packetized on record boundaries and fanned out
-// to every subscribed session (through the link simulator).
+// supervised driver goroutines advance the boards (restarting them
+// after crashes), a read loop demultiplexes uplink datagrams into
+// per-session state and vehicle uplinks, and downlink telemetry is
+// packetized on record boundaries and fanned out to every subscribed
+// session (through the link simulator and the chaos schedule).
 type Fleet struct {
 	cfg      FleetConfig
+	img      *firmware.Image
 	conn     *net.UDPConn
 	send     *sender
 	vehicles []*Vehicle
 	sessions *sessionTable
 
-	badDatagrams atomic.Uint64
-	started      time.Time
+	badDatagrams     atomic.Uint64
+	corruptDatagrams atomic.Uint64
+	chaosPartitioned atomic.Uint64
+	chaosCorrupted   atomic.Uint64
+	chaosBoardFaults atomic.Uint64
+	started          time.Time
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -158,33 +227,45 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	f := &Fleet{
 		cfg:      cfg,
-		sessions: newSessionTable(),
+		img:      img,
+		sessions: newSessionTable(cfg.MaxSessions),
 		stop:     make(chan struct{}),
 	}
 	for i := 0; i < cfg.Vehicles; i++ {
-		sysCfg := board.SystemConfig{Unprotected: true}
-		if cfg.Protected {
-			sysCfg = board.SystemConfig{Master: board.MasterConfig{
-				Seed:            cfg.MasterSeed + int64(i),
-				WatchdogTimeout: 20 * time.Millisecond,
-			}}
+		sys, err := f.newSystem(i)
+		if err != nil {
+			return nil, fmt.Errorf("vehicle %d: %w", i+1, err)
 		}
-		sys := board.NewSystem(sysCfg)
-		if err := sys.FlashFirmware(img); err != nil {
-			return nil, fmt.Errorf("vehicle %d: flash: %w", i+1, err)
-		}
-		if _, err := sys.Boot(); err != nil {
-			return nil, fmt.Errorf("vehicle %d: boot: %w", i+1, err)
-		}
-		v := &Vehicle{SysID: byte(i + 1), Sys: sys}
+		v := &Vehicle{SysID: byte(i + 1)}
+		v.sys.Store(sys)
 		v.publish()
 		f.vehicles = append(f.vehicles, v)
 	}
 	return f, nil
 }
 
+// newSystem builds, flashes and boots one board — the factory both the
+// initial fleet and the supervisor's crash recovery go through.
+func (f *Fleet) newSystem(i int) (*board.System, error) {
+	sysCfg := board.SystemConfig{Unprotected: true}
+	if f.cfg.Protected {
+		sysCfg = board.SystemConfig{Master: board.MasterConfig{
+			Seed:            f.cfg.MasterSeed + int64(i),
+			WatchdogTimeout: 20 * time.Millisecond,
+		}}
+	}
+	sys := board.NewSystem(sysCfg)
+	if err := sys.FlashFirmware(f.img); err != nil {
+		return nil, fmt.Errorf("flash: %w", err)
+	}
+	if _, err := sys.Boot(); err != nil {
+		return nil, fmt.Errorf("boot: %w", err)
+	}
+	return sys, nil
+}
+
 // Start binds the UDP socket and launches the read loop, the session
-// reaper and one driver goroutine per vehicle.
+// reaper and one supervised driver goroutine per vehicle.
 func (f *Fleet) Start() error {
 	addr, err := net.ResolveUDPAddr("udp", f.cfg.Addr)
 	if err != nil {
@@ -208,7 +289,7 @@ func (f *Fleet) Start() error {
 
 	for _, v := range f.vehicles {
 		f.wg.Add(1)
-		go f.driveVehicle(v)
+		go f.superviseVehicle(v)
 	}
 	return nil
 }
@@ -230,8 +311,22 @@ func (f *Fleet) Vehicles() []*Vehicle { return f.vehicles }
 // Sessions returns the number of live GCS sessions.
 func (f *Fleet) Sessions() int { return f.sessions.count() }
 
-// Close stops all goroutines and releases the socket. After Close
-// returns, vehicle state (Vehicle.Sys) may be inspected directly.
+// DegradedVehicles counts vehicles parked after exhausting their
+// restart budget.
+func (f *Fleet) DegradedVehicles() int {
+	n := 0
+	for _, v := range f.vehicles {
+		if v.degraded.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops all goroutines and releases the socket, waiting at most
+// DrainTimeout for the drain. After a clean Close, vehicle state
+// (Vehicle.Sys) may be inspected directly and no fleet goroutines or
+// sessions remain.
 func (f *Fleet) Close() error {
 	f.closeMu.Lock()
 	defer f.closeMu.Unlock()
@@ -243,49 +338,167 @@ func (f *Fleet) Close() error {
 	if f.conn != nil {
 		f.conn.Close() // unblocks the read loop
 	}
-	f.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		f.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(f.cfg.DrainTimeout):
+		return fmt.Errorf("netlink: fleet drain exceeded %v", f.cfg.DrainTimeout)
+	}
 	if f.send != nil {
 		f.send.close()
 	}
+	f.sessions.clear()
 	return nil
 }
 
-// driveVehicle advances one board at the configured rate, packetizes
-// its downlink on record boundaries and fans datagrams out to the
-// vehicle's subscribers.
-func (f *Fleet) driveVehicle(v *Vehicle) {
+// superviseVehicle owns one vehicle's lifecycle: it runs the driver,
+// recovers from crashes (chaos panics, simulation faults), rebuilds
+// the board with the sim clock fast-forwarded so vehicle time stays
+// monotonic, and parks the vehicle as degraded once the restart budget
+// is spent. Restart delays back off exponentially with deterministic
+// jitter from the chaos seed.
+func (f *Fleet) superviseVehicle(v *Vehicle) {
 	defer f.wg.Done()
-	simStart := v.Sys.Now()
+	for {
+		err := f.runVehicle(v)
+		if err == nil {
+			return // clean shutdown
+		}
+		v.runErr.Store(err)
+		attempt := int(v.restarts.Load())
+		if f.cfg.RestartBudget < 0 || attempt >= f.cfg.RestartBudget {
+			v.degraded.Store(true)
+			v.publish()
+			return
+		}
+		v.restarts.Add(1)
+		delay := chaos.Backoff(f.cfg.Chaos.Seed, uint64(v.SysID), attempt,
+			10*time.Millisecond, time.Second)
+		select {
+		case <-f.stop:
+			v.publish()
+			return
+		case <-time.After(delay):
+		}
+		if rerr := f.restartVehicle(v); rerr != nil {
+			v.runErr.Store(rerr)
+			v.degraded.Store(true)
+			v.publish()
+			return
+		}
+	}
+}
+
+// restartVehicle rebuilds a crashed vehicle's board from the shared
+// firmware image: fresh flash, fresh boot, sim clock fast-forwarded to
+// the predecessor's — the same semantics as the paper's master reflash
+// recovery, where volatile state is lost but the mission clock is not.
+func (f *Fleet) restartVehicle(v *Vehicle) error {
+	old := v.sys.Load()
+	sys, err := f.newSystem(int(v.SysID) - 1)
+	if err != nil {
+		return fmt.Errorf("vehicle %d: restart: %w", v.SysID, err)
+	}
+	sys.FastForward(old.Now())
+	v.splitter = StreamSplitter{}
+	v.sys.Store(sys)
+	v.publish()
+	return nil
+}
+
+// runVehicle advances one board at the configured rate, realizes the
+// chaos schedule's board faults, packetizes the downlink on record
+// boundaries and fans datagrams out to the vehicle's subscribers. It
+// returns nil on fleet shutdown; a non-nil error (including recovered
+// driver panics) hands the vehicle to the supervisor.
+func (f *Fleet) runVehicle(v *Vehicle) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("vehicle %d: driver panic: %v", v.SysID, r)
+		}
+	}()
+	sys := v.sys.Load()
+	simStart := sys.Now()
+	heldStart := v.heldTicks
 	wallStart := time.Now()
+	beaconEvery := uint64(f.cfg.TimeBeacon / f.cfg.Step)
+	if beaconEvery == 0 {
+		beaconEvery = 1
+	}
 	for {
 		select {
 		case <-f.stop:
-			return
+			return nil
 		default:
 		}
 
 		if f.cfg.Rate > 0 {
 			// Sleep until the wall clock catches up with the sim clock.
-			simElapsed := v.Sys.Now() - simStart
+			// Held (hung/stalled) ticks advance the wall schedule even
+			// though the sim clock is frozen — a hung board still burns
+			// real time.
+			simElapsed := sys.Now() - simStart +
+				time.Duration(v.heldTicks-heldStart)*f.cfg.Step
 			due := wallStart.Add(time.Duration(float64(simElapsed) / f.cfg.Rate))
 			if d := time.Until(due); d > 0 {
 				select {
 				case <-f.stop:
-					return
+					return nil
 				case <-time.After(d):
 				}
 			}
 		}
 
-		if err := v.Sys.Run(f.cfg.Step); err != nil {
-			v.runErr.Store(err)
+		if f.cfg.Chaos.BoardActive() && v.ticks >= v.holdUntil {
+			switch fate := f.cfg.Chaos.BoardFate(v.SysID, v.ticks); fate.Kind {
+			case chaos.FaultPanic:
+				f.chaosBoardFaults.Add(1)
+				tick := v.ticks
+				// Consume the crashing tick: the restarted driver resumes
+				// past it instead of re-drawing the same fatal fate.
+				v.ticks++
+				v.heldTicks++
+				panic(fmt.Sprintf("chaos: scheduled panic for vehicle %d at tick %d",
+					v.SysID, tick))
+			case chaos.FaultHang, chaos.FaultStall:
+				f.chaosBoardFaults.Add(1)
+				v.holdKind = fate.Kind
+				v.holdStart = v.ticks
+				v.holdUntil = v.ticks + uint64(fate.Ticks)
+			}
+		}
+
+		if v.ticks < v.holdUntil {
+			// Hung or stalled: the sim clock is frozen. A hung board is
+			// dark (no datagrams — from the ground it reads as a dead
+			// link); a stalled board's radio keeps beaconing the frozen
+			// clock — the wedged-autopilot signature.
+			v.ticks++
+			v.heldTicks++
+			if v.holdKind == chaos.FaultStall &&
+				(v.ticks-v.holdStart)%beaconEvery == 0 {
+				now := sys.Now()
+				for _, sess := range f.sessions.subscribers(v.SysID) {
+					f.sendDownlink(sess, now, nil)
+				}
+				v.lastBeacon = now
+			}
 			v.publish()
-			return
+			continue
+		}
+
+		if err := sys.Run(f.cfg.Step); err != nil {
+			v.publish()
+			return fmt.Errorf("vehicle %d: %w", v.SysID, err)
 		}
 		v.ticks++
-		now := v.Sys.Now()
+		now := sys.Now()
 
-		records := v.splitter.Feed(v.Sys.DrainGCS())
+		records := v.splitter.Feed(sys.DrainGCS())
 		subs := f.sessions.subscribers(v.SysID)
 		if len(records) > 0 && len(subs) > 0 {
 			payloads := packRecords(records, MaxDatagram-HeaderSize)
@@ -309,11 +522,22 @@ func (f *Fleet) driveVehicle(v *Vehicle) {
 }
 
 // sendDownlink wraps one payload for one session and transmits it
-// through the link simulator.
+// through the chaos schedule and the link simulator.
 func (f *Fleet) sendDownlink(sess *session, simNow time.Duration, payload []byte) {
 	seq := sess.txSeq
 	sess.txSeq++
+	if f.cfg.Chaos.Partitioned(chaos.Down, sess.sysID, seq) {
+		f.chaosPartitioned.Add(1)
+		sess.stats.SimDropped.Add(1)
+		return
+	}
 	pkt := Encode(Header{Type: PacketData, SysID: sess.sysID, Seq: seq, SimTime: simNow}, payload)
+	if c, ok := f.cfg.Chaos.Corrupt(chaos.Down, sess.sysID, seq); ok {
+		// Flip a post-version byte so the damage is the checksum's to
+		// catch (magic/version flips are rejected before verification).
+		pkt[3+int(c.Offset%uint64(len(pkt)-3))] ^= c.XOR
+		f.chaosCorrupted.Add(1)
+	}
 
 	if !f.cfg.Sim.Active() {
 		sess.stats.DatagramsOut.Add(1)
@@ -366,11 +590,30 @@ func (f *Fleet) readLoop() {
 		}
 		h, payload, err := Decode(buf[:n])
 		if err != nil || f.Vehicle(h.SysID) == nil {
+			if errors.Is(err, ErrChecksum) {
+				f.corruptDatagrams.Add(1)
+			}
 			f.badDatagrams.Add(1)
+			continue
+		}
+		// Chaos uplink faults strike before the datagram reaches the
+		// session layer: a partitioned window swallows it whole, and a
+		// corrupted one fails the receiver checksum (modeled post-decode
+		// because demultiplexing needs the header).
+		if f.cfg.Chaos.Partitioned(chaos.Up, h.SysID, h.Seq) {
+			f.chaosPartitioned.Add(1)
+			continue
+		}
+		if _, hit := f.cfg.Chaos.Corrupt(chaos.Up, h.SysID, h.Seq); hit {
+			f.chaosCorrupted.Add(1)
+			f.corruptDatagrams.Add(1)
 			continue
 		}
 		now := time.Now()
 		sess, existed := f.sessions.lookup(addr, h.SysID, now)
+		if sess == nil {
+			continue // table full; rejection counted by the table
+		}
 		sess.touch(now)
 		if !existed && h.Type == PacketBye {
 			f.sessions.remove(sess)
@@ -381,7 +624,10 @@ func (f *Fleet) readLoop() {
 		case PacketBye:
 			f.sessions.remove(sess)
 		case PacketHello:
-			// Session creation/refresh is all a hello does.
+			// Session creation/refresh, plus epoch bookkeeping: a new
+			// epoch means the peer rebuilt its side (restart or link
+			// declared dead) and uplink numbering starts over.
+			sess.rehello(helloEpoch(payload))
 		case PacketData:
 			sess.trackRx(h.Seq)
 			sess.stats.DatagramsIn.Add(1)
@@ -397,7 +643,7 @@ func (f *Fleet) readLoop() {
 				}
 			}
 			sess.parser.feed(payload, &sess.stats)
-			f.vehicles[h.SysID-1].Sys.SendToUAV(payload)
+			f.vehicles[h.SysID-1].Sys().SendToUAV(payload)
 		default:
 			f.badDatagrams.Add(1)
 		}
@@ -430,11 +676,27 @@ func (f *Fleet) ExpiredSessions() uint64 { return f.sessions.expired.Load() }
 // plain-text block (one "name value" pair per line, sorted), the
 // format served by cmd/mavr-fleetd's -metrics endpoint.
 func (f *Fleet) MetricsText() string {
+	restarts := 0
+	for _, v := range f.vehicles {
+		restarts += int(v.restarts.Load())
+	}
+	var queueDropped uint64
+	if f.send != nil {
+		queueDropped = f.send.dropped.Load()
+	}
 	lines := []string{
 		fmt.Sprintf("fleet.vehicles %d", len(f.vehicles)),
+		fmt.Sprintf("fleet.degraded %d", f.DegradedVehicles()),
+		fmt.Sprintf("fleet.restarts %d", restarts),
 		fmt.Sprintf("fleet.sessions %d", f.sessions.count()),
 		fmt.Sprintf("fleet.sessions_expired %d", f.sessions.expired.Load()),
+		fmt.Sprintf("fleet.sessions_rejected %d", f.sessions.rejected.Load()),
 		fmt.Sprintf("fleet.bad_datagrams %d", f.badDatagrams.Load()),
+		fmt.Sprintf("fleet.corrupt_datagrams %d", f.corruptDatagrams.Load()),
+		fmt.Sprintf("fleet.chaos_board_faults %d", f.chaosBoardFaults.Load()),
+		fmt.Sprintf("fleet.chaos_partitioned %d", f.chaosPartitioned.Load()),
+		fmt.Sprintf("fleet.chaos_corrupted %d", f.chaosCorrupted.Load()),
+		fmt.Sprintf("fleet.send_queue_dropped %d", queueDropped),
 		fmt.Sprintf("fleet.uptime_ms %d", time.Since(f.started).Milliseconds()),
 	}
 	for _, v := range f.vehicles {
@@ -446,6 +708,8 @@ func (f *Fleet) MetricsText() string {
 			fmt.Sprintf("%s.running %d", p, b2i(s.Running)),
 			fmt.Sprintf("%s.gyrocfg %d", p, s.GyroCfg),
 			fmt.Sprintf("%s.reflashes %d", p, s.Reflashes),
+			fmt.Sprintf("%s.restarts %d", p, s.Restarts),
+			fmt.Sprintf("%s.degraded %d", p, b2i(s.Degraded)),
 		)
 	}
 	for _, sess := range f.sessions.all() {

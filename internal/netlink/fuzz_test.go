@@ -2,6 +2,8 @@ package netlink
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"testing"
 	"time"
 )
@@ -17,14 +19,22 @@ func FuzzDatagram(f *testing.F) {
 	f.Add(Encode(Header{Type: PacketBye, SysID: 255, Seq: ^uint32(0), SimTime: -1}, []byte("tail")))
 	f.Add([]byte{})                        // short
 	f.Add([]byte{'M', 'V'})                // short, magic only
-	f.Add([]byte("MV\x02noise padding..")) // bad version
+	f.Add([]byte("MV\x09noise padding..")) // bad version
 	f.Add([]byte("XYconservative length padding to header size"))
 
 	f.Fuzz(func(t *testing.T, pkt []byte) {
 		h, payload, err := Decode(pkt)
 		if err != nil {
 			if len(pkt) >= HeaderSize && pkt[0] == magic0 && pkt[1] == magic1 && pkt[2] == Version {
-				t.Fatalf("well-formed datagram rejected: %v", err)
+				// A full-header datagram with our magic and version may
+				// only be rejected by the integrity check, and only when
+				// the checksum genuinely mismatches.
+				if !errors.Is(err, ErrChecksum) {
+					t.Fatalf("well-formed datagram rejected: %v", err)
+				}
+				if binary.BigEndian.Uint32(pkt[checkOffset:HeaderSize]) == checksum(pkt, pkt[HeaderSize:]) {
+					t.Fatalf("matching checksum rejected: %v", err)
+				}
 			}
 			return
 		}

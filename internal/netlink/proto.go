@@ -15,16 +15,27 @@ import (
 //	offset 4  sysid   1 byte (vehicle the datagram concerns)
 //	offset 5  seq     4 bytes (per-direction link sequence number)
 //	offset 9  simtime 8 bytes (vehicle sim clock, ns; 0 on the uplink)
-//	offset 17 payload (telemetry records downlink, raw frame bytes uplink)
+//	offset 17 check   4 bytes (FNV-1a over header[0:17] + payload)
+//	offset 21 payload (telemetry records downlink, raw frame bytes uplink)
+//
+// The checksum (new in version 2) is what makes mid-stream corruption
+// a *link* fault instead of an ambiguous anomaly: a flipped bit fails
+// verification at the receiver and the datagram is dropped whole, so
+// corruption degrades into record-aligned loss (sequence gaps) and can
+// never reach the ground station's monitor as garbage that would mimic
+// a compromised vehicle.
 const (
 	magic0 = 'M'
 	magic1 = 'V'
 
 	// Version is the wire protocol version.
-	Version = 1
+	Version = 2
 
 	// HeaderSize is the fixed datagram header length.
-	HeaderSize = 17
+	HeaderSize = 21
+
+	// checkOffset is where the checksum lives inside the header.
+	checkOffset = 17
 
 	// MaxDatagram caps the datagrams the fleet server emits; the
 	// receive path accepts anything up to the UDP maximum (an attacking
@@ -57,9 +68,11 @@ var (
 	ErrShortDatagram = errors.New("netlink: datagram shorter than header")
 	ErrBadProtoMagic = errors.New("netlink: bad datagram magic")
 	ErrBadVersion    = errors.New("netlink: unsupported protocol version")
+	ErrChecksum      = errors.New("netlink: datagram checksum mismatch")
 )
 
-// AppendHeader appends the encoded header to dst.
+// AppendHeader appends the encoded header to dst with a zero checksum;
+// Encode fills the checksum in once the payload is attached.
 func AppendHeader(dst []byte, h Header) []byte {
 	var buf [HeaderSize]byte
 	buf[0], buf[1], buf[2] = magic0, magic1, Version
@@ -70,14 +83,32 @@ func AppendHeader(dst []byte, h Header) []byte {
 	return append(dst, buf[:]...)
 }
 
-// Encode builds a full datagram from a header and payload.
-func Encode(h Header, payload []byte) []byte {
-	out := AppendHeader(make([]byte, 0, HeaderSize+len(payload)), h)
-	return append(out, payload...)
+// checksum is FNV-1a 32 over the pre-checksum header bytes and the
+// payload — cheap, order-sensitive, and deterministic.
+func checksum(header, payload []byte) uint32 {
+	h := uint32(0x811C9DC5)
+	for _, b := range header[:checkOffset] {
+		h = (h ^ uint32(b)) * 0x01000193
+	}
+	for _, b := range payload {
+		h = (h ^ uint32(b)) * 0x01000193
+	}
+	return h
 }
 
-// Decode splits a received datagram into header and payload. The
-// payload aliases pkt; copy it before the receive buffer is reused.
+// Encode builds a full datagram from a header and payload, including
+// the integrity checksum.
+func Encode(h Header, payload []byte) []byte {
+	out := AppendHeader(make([]byte, 0, HeaderSize+len(payload)), h)
+	out = append(out, payload...)
+	binary.BigEndian.PutUint32(out[checkOffset:HeaderSize], checksum(out, payload))
+	return out
+}
+
+// Decode splits a received datagram into header and payload, verifying
+// the checksum: a corrupted datagram is rejected whole (ErrChecksum),
+// turning wire damage into clean datagram loss. The payload aliases
+// pkt; copy it before the receive buffer is reused.
 func Decode(pkt []byte) (Header, []byte, error) {
 	if len(pkt) < HeaderSize {
 		return Header{}, nil, ErrShortDatagram
@@ -88,11 +119,15 @@ func Decode(pkt []byte) (Header, []byte, error) {
 	if pkt[2] != Version {
 		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadVersion, pkt[2])
 	}
+	payload := pkt[HeaderSize:]
+	if binary.BigEndian.Uint32(pkt[checkOffset:HeaderSize]) != checksum(pkt, payload) {
+		return Header{}, nil, ErrChecksum
+	}
 	h := Header{
 		Type:    PacketType(pkt[3]),
 		SysID:   pkt[4],
 		Seq:     binary.BigEndian.Uint32(pkt[5:9]),
 		SimTime: time.Duration(binary.BigEndian.Uint64(pkt[9:17])),
 	}
-	return h, pkt[HeaderSize:], nil
+	return h, payload, nil
 }

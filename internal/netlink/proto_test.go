@@ -54,6 +54,24 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 	}
 }
 
+// Any single-byte flip anywhere in a datagram — header or payload —
+// must fail checksum verification: corruption becomes whole-datagram
+// loss, never a garbled record reaching the monitor.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	pkt := Encode(Header{Type: PacketData, SysID: 3, Seq: 9, SimTime: time.Second},
+		[]byte{0xA5, 7, 10, 3, 0xFE, 0x21})
+	for i := 3; i < len(pkt); i++ {
+		bad := append([]byte(nil), pkt...)
+		bad[i] ^= 0x40
+		if _, _, err := Decode(bad); err == nil {
+			t.Errorf("flip at offset %d went undetected", i)
+		}
+	}
+	if _, _, err := Decode(pkt); err != nil {
+		t.Fatalf("pristine datagram rejected: %v", err)
+	}
+}
+
 func TestSplitterSegmentsMixedStream(t *testing.T) {
 	var s StreamSplitter
 	pulse := []byte{0xA5, 7, 10, 3} // firmware.PulseMagic

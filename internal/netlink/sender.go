@@ -8,8 +8,16 @@ import (
 	"container/heap"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// maxSenderQueue bounds the delayed-datagram queue. A pathological
+// latency schedule (or a stalled socket) must degrade into datagram
+// loss — UDP's native failure mode — rather than unbounded memory
+// growth; the oldest queued datagram is shed first, matching what a
+// saturated radio would do.
+const maxSenderQueue = 4096
 
 // sender serializes datagram writes onto one UDP socket and realizes
 // the link simulator's injected latency: delayed datagrams sit in a
@@ -25,6 +33,9 @@ type sender struct {
 	done   chan struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	// dropped counts datagrams shed by the queue bound (drop-oldest).
+	dropped atomic.Uint64
 }
 
 type delayed struct {
@@ -56,6 +67,12 @@ func (s *sender) send(addr *net.UDPAddr, pkt []byte, delay time.Duration) {
 	if s.closed {
 		s.mu.Unlock()
 		return
+	}
+	for len(s.queue) >= maxSenderQueue {
+		// Shed the earliest-due (oldest) datagram: stale telemetry is
+		// the least valuable thing in a congested queue.
+		heap.Pop(&s.queue)
+		s.dropped.Add(1)
 	}
 	heap.Push(&s.queue, delayed{due: time.Now().Add(delay), addr: addr, pkt: pkt})
 	s.mu.Unlock()

@@ -29,6 +29,15 @@ type session struct {
 	// goroutine sends, so no further synchronization is needed.
 	txSeq uint32
 
+	// epoch is the session generation announced by the peer's hello
+	// payload. A hello with a different epoch is a re-hello: the peer
+	// restarted or declared the link dead and is rebuilding its side of
+	// the session, so stale uplink sequence tracking must not charge the
+	// new stream with phantom gaps. Written only by the read loop;
+	// atomic so observers (tests, metrics) may read concurrently.
+	epoch    atomic.Uint32
+	epochSet atomic.Bool
+
 	// Uplink sequence tracking, touched only by the read loop.
 	rxInit bool
 	rxNext uint32
@@ -39,6 +48,38 @@ func (s *session) touch(now time.Time) { s.lastSeen.Store(now.UnixNano()) }
 
 func (s *session) idleSince(now time.Time) time.Duration {
 	return now.Sub(time.Unix(0, s.lastSeen.Load()))
+}
+
+// rehello applies a hello's epoch. Any change — including wraparound
+// back through zero — resets uplink sequence tracking and the parser,
+// because an epoch change means the peer's numbering restarted. It
+// reports whether this hello started a new epoch on an existing
+// session.
+func (s *session) rehello(epoch uint32) bool {
+	if s.epochSet.Load() && s.epoch.Load() == epoch {
+		return false
+	}
+	first := !s.epochSet.Load()
+	s.epoch.Store(epoch)
+	s.epochSet.Store(true)
+	s.rxInit = false
+	s.rxNext = 0
+	s.parser = uplinkParser{}
+	if first {
+		return false
+	}
+	s.stats.Rehellos.Add(1)
+	return true
+}
+
+// helloEpoch extracts the 4-byte big-endian epoch from a hello
+// payload. Legacy hellos with no payload report epoch 0.
+func helloEpoch(payload []byte) uint32 {
+	if len(payload) < 4 {
+		return 0
+	}
+	return uint32(payload[0])<<24 | uint32(payload[1])<<16 |
+		uint32(payload[2])<<8 | uint32(payload[3])
 }
 
 // trackRx updates uplink sequence accounting for a received datagram.
@@ -61,16 +102,19 @@ func (s *session) trackRx(seq uint32) {
 
 // sessionTable is the fleet's live-session registry.
 type sessionTable struct {
-	mu      sync.RWMutex
-	byKey   map[string]*session
-	bySysID map[byte][]*session
-	expired atomic.Uint64
+	mu       sync.RWMutex
+	byKey    map[string]*session
+	bySysID  map[byte][]*session
+	max      int // 0 = unbounded
+	expired  atomic.Uint64
+	rejected atomic.Uint64
 }
 
-func newSessionTable() *sessionTable {
+func newSessionTable(max int) *sessionTable {
 	return &sessionTable{
 		byKey:   make(map[string]*session),
 		bySysID: make(map[byte][]*session),
+		max:     max,
 	}
 }
 
@@ -94,7 +138,9 @@ func (u *uplinkParser) feed(data []byte, st *LinkStats) {
 }
 
 // lookup returns the session for (addr, sysID), creating it if new.
-// The bool reports whether the session already existed.
+// The bool reports whether the session already existed. When the table
+// is at its cap, new joins are rejected (nil, false) — session-table
+// pressure from churning stations must not grow memory without bound.
 func (t *sessionTable) lookup(addr *net.UDPAddr, sysID byte, now time.Time) (*session, bool) {
 	key := sessionKey(addr, sysID)
 	t.mu.RLock()
@@ -107,6 +153,10 @@ func (t *sessionTable) lookup(addr *net.UDPAddr, sysID byte, now time.Time) (*se
 	defer t.mu.Unlock()
 	if s = t.byKey[key]; s != nil {
 		return s, true
+	}
+	if t.max > 0 && len(t.byKey) >= t.max {
+		t.rejected.Add(1)
+		return nil, false
 	}
 	// Copy the address: the read loop's UDPAddr may be reused.
 	a := *addr
@@ -164,6 +214,14 @@ func (t *sessionTable) expire(now time.Time, timeout time.Duration) int {
 	}
 	t.expired.Add(uint64(len(dead)))
 	return len(dead)
+}
+
+// clear drops every session (fleet shutdown drain).
+func (t *sessionTable) clear() {
+	t.mu.Lock()
+	t.byKey = make(map[string]*session)
+	t.bySysID = make(map[byte][]*session)
+	t.mu.Unlock()
 }
 
 // count returns the number of live sessions.

@@ -39,6 +39,17 @@ type LinkStats struct {
 	SimDropped    atomic.Uint64
 	SimDuplicated atomic.Uint64
 	SimDelayed    atomic.Uint64
+
+	// CorruptDatagrams counts received datagrams rejected by the
+	// transport checksum — wire damage surfacing as whole-datagram loss.
+	CorruptDatagrams atomic.Uint64
+	// QueueDropped counts datagrams shed by bounded queues (drop-oldest
+	// backpressure on the sender's delay queue / the client's uplink
+	// queue).
+	QueueDropped atomic.Uint64
+	// Rehellos counts session re-establishments: hellos carrying a new
+	// epoch after the peer detected a dead link.
+	Rehellos atomic.Uint64
 }
 
 // LinkStatsSnapshot is a plain-value copy of LinkStats.
@@ -51,6 +62,9 @@ type LinkStatsSnapshot struct {
 	SimDropped                uint64
 	SimDuplicated             uint64
 	SimDelayed                uint64
+	CorruptDatagrams          uint64
+	QueueDropped              uint64
+	Rehellos                  uint64
 }
 
 // Snapshot copies the counters.
@@ -68,6 +82,10 @@ func (s *LinkStats) Snapshot() LinkStatsSnapshot {
 		SimDropped:    s.SimDropped.Load(),
 		SimDuplicated: s.SimDuplicated.Load(),
 		SimDelayed:    s.SimDelayed.Load(),
+
+		CorruptDatagrams: s.CorruptDatagrams.Load(),
+		QueueDropped:     s.QueueDropped.Load(),
+		Rehellos:         s.Rehellos.Load(),
 	}
 }
 
@@ -84,6 +102,8 @@ func (s LinkStatsSnapshot) metricsLines(prefix string) []string {
 		{"seq_gaps", s.SeqGaps}, {"reordered", s.Reordered},
 		{"sim_dropped", s.SimDropped}, {"sim_duplicated", s.SimDuplicated},
 		{"sim_delayed", s.SimDelayed},
+		{"corrupt_datagrams", s.CorruptDatagrams},
+		{"queue_dropped", s.QueueDropped}, {"rehellos", s.Rehellos},
 	}
 	lines := make([]string, 0, len(kv))
 	for _, e := range kv {

@@ -65,6 +65,36 @@ func Builtin() []Spec {
 			},
 		},
 		{
+			// Chaos conformance: a healthy vehicle behind a partitioning,
+			// corrupting downlink. Every impairment must land in the
+			// link-side taxonomy (link gaps, corruption drops, booked
+			// outages) — the verdict stays clear of compromise and the
+			// graded health is a link verdict, never a vehicle one.
+			Name:  "chaos-pure-link-faults",
+			Notes: "partition outages and datagram corruption against a healthy vehicle: degradation and link death, zero compromise evidence",
+			Board: BoardUnprotected,
+			Seed:  13,
+			Run:   3 * time.Second,
+			Chaos: ChaosSpec{PartitionRate: 0.2, PartitionWindow: 8192, CorruptRate: 0.05},
+		},
+		{
+			// Chaos conformance, the other direction: a real stale-V2
+			// attack against MAVR must still be detected through 30%
+			// datagram loss plus chaos partitions and corruption — link
+			// faults must not grant the attacker cover.
+			Name:            "chaos-v2-detected-through-loss",
+			Notes:           "stale V2 vs MAVR through 30% loss, partitions and corruption: the crash is still detected and recovered",
+			Board:           BoardMAVR,
+			Seed:            7,
+			WatchdogTimeout: 20 * time.Millisecond,
+			Run:             3 * time.Second,
+			Link:            LinkSpec{DropRate: 0.3},
+			Chaos:           ChaosSpec{PartitionRate: 0.15, PartitionWindow: 4096, CorruptRate: 0.05},
+			Injections: []Injection{
+				{At: 200 * time.Millisecond, Kind: InjectV2, Value: 0x7F},
+			},
+		},
+		{
 			// §V-D / §VIII-A: blind gadget probes against a
 			// re-randomizing victim over a lossy downlink — every probe
 			// triggers detection + a fresh epoch, so eliminations never

@@ -7,6 +7,7 @@ import (
 
 	"mavr/internal/attack"
 	"mavr/internal/board"
+	"mavr/internal/chaos"
 	"mavr/internal/firmware"
 	"mavr/internal/gcs"
 	"mavr/internal/netlink"
@@ -64,13 +65,25 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 
-	r := &Result{Spec: spec, Sys: sys, Mon: &gcs.Monitor{TolerateLinkLoss: spec.Link.Active()}}
+	chaosOn := spec.Chaos.Active()
+	r := &Result{Spec: spec, Sys: sys, Mon: &gcs.Monitor{TolerateLinkLoss: spec.Link.Active() || chaosOn}}
 	link := netlink.SimConfig{Seed: spec.Seed, DropRate: spec.Link.DropRate, DupRate: spec.Link.DupRate}
+	ch := chaos.Config{
+		Seed:              spec.Seed,
+		PartitionDownRate: spec.Chaos.PartitionRate,
+		PartitionWindow:   spec.Chaos.PartitionWindow,
+		CorruptRate:       spec.Chaos.CorruptRate,
+	}
 	var split netlink.StreamSplitter
 	var dgSeq uint32
 	var mavSeq byte
 	var eventsSeen int
 	var prev Counters
+	// inOutage tracks a chaos partition in progress: datagrams are being
+	// dropped wholesale, so the monitor must not be Fed (a Feed is
+	// arrival evidence) — it is kept on link-idle rations until traffic
+	// resumes and the outage is booked against the link.
+	var inOutage bool
 
 	emitEvents := func() {
 		evs := sys.Events()
@@ -89,9 +102,12 @@ func Run(spec Spec) (*Result, error) {
 			Garbage:     r.Mon.Garbage,
 			Heartbeats:  r.Mon.Heartbeats,
 			FrameErrors: r.Mon.HeartbeatErrors,
-			RawIMUs:     r.Mon.RawIMUs,
-			ParamEchoes: r.Mon.ParamEchoes,
-			MaxSilence:  int64(r.Mon.MaxSilence),
+			RawIMUs:        r.Mon.RawIMUs,
+			ParamEchoes:    r.Mon.ParamEchoes,
+			MaxSilence:     int64(r.Mon.MaxSilence),
+			LinkOutages:    r.Mon.LinkOutages,
+			CorruptDrops:   r.Mon.CorruptDrops,
+			MaxLinkSilence: int64(r.Mon.MaxLinkSilence),
 		}
 		if sys.Master != nil {
 			c.Epoch = sys.Master.Stats().Randomizations
@@ -112,6 +128,8 @@ func Run(spec Spec) (*Result, error) {
 			{"heartbeat", cur.Heartbeats - prev.Heartbeats},
 			{"raw-imu", cur.RawIMUs - prev.RawIMUs},
 			{"param-echo", cur.ParamEchoes - prev.ParamEchoes},
+			{"corrupt-drop", cur.CorruptDrops - prev.CorruptDrops},
+			{"link-outage", cur.LinkOutages - prev.LinkOutages},
 		} {
 			if d.n != 0 {
 				r.Records = append(r.Records, Record{T: t, Kind: d.kind, N: d.n})
@@ -120,11 +138,13 @@ func Run(spec Spec) (*Result, error) {
 		prev = cur
 	}
 
-	r.Records = append(r.Records, Record{
-		T: 0, Kind: "start",
-		Note: fmt.Sprintf("%s board=%s app=%s seed=%d drop=%g dup=%g injections=%d",
-			spec.Name, spec.Board, spec.App, spec.Seed, spec.Link.DropRate, spec.Link.DupRate, len(spec.Injections)),
-	})
+	startNote := fmt.Sprintf("%s board=%s app=%s seed=%d drop=%g dup=%g injections=%d",
+		spec.Name, spec.Board, spec.App, spec.Seed, spec.Link.DropRate, spec.Link.DupRate, len(spec.Injections))
+	if chaosOn {
+		startNote += fmt.Sprintf(" chaos(partition=%g window=%d corrupt=%g)",
+			spec.Chaos.PartitionRate, spec.Chaos.PartitionWindow, spec.Chaos.CorruptRate)
+	}
+	r.Records = append(r.Records, Record{T: 0, Kind: "start", Note: startNote})
 	emitEvents() // boot (+ initial randomization on MAVR boards)
 
 	start := sys.Now()
@@ -157,10 +177,35 @@ func Run(spec Spec) (*Result, error) {
 			return nil, err
 		}
 		raw := sys.DrainGCS()
-		if spec.Link.Active() {
-			raw = applyLink(&split, link, &dgSeq, raw)
+		if spec.Link.Active() || chaosOn {
+			var corrupted, partitioned int
+			raw, partitioned, corrupted = applyFaults(&split, link, ch, spec.Link.Active(), &dgSeq, raw)
+			for i := 0; i < corrupted; i++ {
+				r.Mon.NoteCorrupt()
+			}
+			switch {
+			case inOutage && len(raw) == 0:
+				// Outage still in progress (or the board is silent behind
+				// it): no arrival evidence, keep the link-silence clock
+				// running instead of Feeding.
+				r.Mon.FeedLinkIdle(sys.Now())
+			case len(raw) == 0 && partitioned > 0:
+				// The partition swallowed everything this step: from the
+				// ground, nothing arrived at all.
+				inOutage = true
+				r.Mon.FeedLinkIdle(sys.Now())
+			case inOutage:
+				// Traffic resumed: book the outage against the link, then
+				// deliver.
+				r.Mon.NoteLinkOutage(sys.Now())
+				inOutage = false
+				r.Mon.Feed(raw, sys.Now())
+			default:
+				r.Mon.Feed(raw, sys.Now())
+			}
+		} else {
+			r.Mon.Feed(raw, sys.Now())
 		}
-		r.Mon.Feed(raw, sys.Now())
 
 		emitEvents()
 		emitDeltas(sys.Now())
@@ -179,6 +224,9 @@ func Run(spec Spec) (*Result, error) {
 		BoardAlive:    sys.App.Running(),
 		GyroCfg:       sys.App.CPU.Data[firmware.AddrGyroCfg],
 		Final:         counters(),
+	}
+	if chaosOn {
+		v.Health = r.Mon.Classify(spec.SilenceThreshold).String()
 	}
 	if sys.Master != nil {
 		st := sys.Master.Stats()
@@ -302,15 +350,30 @@ func buildSends(spec Spec, img *firmware.Image) ([]send, error) {
 	return sends, nil
 }
 
-// applyLink packetizes the downlink byte stream into record-aligned
-// datagrams and applies the deterministic fault schedule: dropped
-// datagrams vanish whole (pulse gaps, never garbage), duplicated ones
-// are delivered twice back to back.
-func applyLink(split *netlink.StreamSplitter, cfg netlink.SimConfig, seq *uint32, raw []byte) []byte {
-	var out []byte
+// applyFaults packetizes the downlink byte stream into record-aligned
+// datagrams and applies the chaos schedule, then the link fault
+// schedule, per datagram: partitioned and corrupted datagrams vanish
+// whole (pulse gaps and corruption drops, never garbage — corruption
+// is caught by the transport checksum), dropped ones likewise, and
+// duplicated ones are delivered twice back to back. It reports how
+// many datagrams the partition and corruption schedules consumed.
+func applyFaults(split *netlink.StreamSplitter, cfg netlink.SimConfig, ch chaos.Config, linkOn bool, seq *uint32, raw []byte) (out []byte, partitioned, corrupted int) {
 	for _, rec := range split.Feed(raw) {
-		fate := cfg.Fate("down", *seq)
+		s := *seq
 		*seq++
+		if ch.Partitioned(chaos.Down, 1, s) {
+			partitioned++
+			continue
+		}
+		if _, hit := ch.Corrupt(chaos.Down, 1, s); hit {
+			corrupted++
+			continue
+		}
+		if !linkOn {
+			out = append(out, rec...)
+			continue
+		}
+		fate := cfg.Fate("down", s)
 		if fate.Drop {
 			continue
 		}
@@ -318,5 +381,5 @@ func applyLink(split *netlink.StreamSplitter, cfg netlink.SimConfig, seq *uint32
 			out = append(out, rec...)
 		}
 	}
-	return out
+	return out, partitioned, corrupted
 }

@@ -71,6 +71,13 @@ type Spec struct {
 	// record-aligned datagrams and the monitor to TolerateLinkLoss.
 	Link LinkSpec `json:"link,omitempty"`
 
+	// Chaos is the deterministic chaos schedule layered under the link
+	// faults: contiguous partition outages and in-flight datagram
+	// corruption, drawn from internal/chaos with this Spec's Seed. Like
+	// Link, any impairment switches the transport to record-aligned
+	// datagrams and the monitor to TolerateLinkLoss.
+	Chaos ChaosSpec `json:"chaos,omitempty"`
+
 	// Injections are the attacker's timed packets.
 	Injections []Injection `json:"injections,omitempty"`
 }
@@ -86,6 +93,27 @@ type LinkSpec struct {
 
 // Active reports whether the schedule impairs traffic at all.
 func (l LinkSpec) Active() bool { return l.DropRate > 0 || l.DupRate > 0 }
+
+// ChaosSpec is the scenario-facing slice of the chaos engine: the link
+// faults a single-goroutine replay can realize (board faults need the
+// live supervised fleet; see cmd/mavr-chaos). Partitions drop whole
+// windows of consecutive datagrams — a contiguous radio outage, which
+// the monitor must charge to the link, never the vehicle.
+type ChaosSpec struct {
+	// PartitionRate is the per-window probability the downlink is dark
+	// for a whole window of consecutive datagrams.
+	PartitionRate float64 `json:"partitionRate,omitempty"`
+	// PartitionWindow is the window length in datagram sequence numbers
+	// (default 64).
+	PartitionWindow int `json:"partitionWindow,omitempty"`
+	// CorruptRate is the per-datagram probability of in-flight byte
+	// damage; the transport checksum turns every hit into whole-datagram
+	// loss, surfaced to the monitor as a corruption drop.
+	CorruptRate float64 `json:"corruptRate,omitempty"`
+}
+
+// Active reports whether the chaos schedule impairs traffic at all.
+func (c ChaosSpec) Active() bool { return c.PartitionRate > 0 || c.CorruptRate > 0 }
 
 // Injection is one timed attack from the malicious ground station.
 type Injection struct {

@@ -81,6 +81,8 @@ func TestFaultInjectionFlipsGolden(t *testing.T) {
 		{"defense-programming-baud", "v2-vs-mavr-detected", func(s *Spec) { s.ProgramBaud = 553600 }},
 		{"defense-randomization-seed", "v2-vs-mavr-detected", func(s *Spec) { s.Seed++ }},
 		{"gcs-silence-threshold", "v2-stealthy-clean-return", func(s *Spec) { s.SilenceThreshold = 5 * time.Millisecond }},
+		{"chaos-partition-rate", "chaos-pure-link-faults", func(s *Spec) { s.Chaos.PartitionRate = 0.35 }},
+		{"chaos-corrupt-rate", "chaos-v2-detected-through-loss", func(s *Spec) { s.Chaos.CorruptRate = 0.08 }},
 	}
 	for _, m := range mutations {
 		m := m
@@ -166,6 +168,62 @@ func TestSpecValidation(t *testing.T) {
 	}
 	if _, err := Lookup("nope"); err == nil {
 		t.Error("unknown builtin accepted")
+	}
+}
+
+// The chaos verdict taxonomy, both directions: pure link faults —
+// partitions, corruption — must never produce a stealth-attack
+// verdict, while a real attack must still be detected through the
+// same impaired link. One without the other would make the chaos
+// scenarios either alarmist or blind.
+func TestChaosVerdictTaxonomy(t *testing.T) {
+	pure, err := Lookup("chaos-pure-link-faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(pure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Verdict
+	if v.Compromised {
+		t.Error("pure link faults produced a compromise verdict")
+	}
+	if v.VehicleSilent {
+		t.Errorf("link outages charged to the vehicle (maxSilence=%v)", time.Duration(v.Final.MaxSilence))
+	}
+	if v.Health == "compromised" || v.Health == "vehicle-dead" {
+		t.Errorf("pure link faults graded %q", v.Health)
+	}
+	if v.Final.LinkOutages == 0 || v.Final.CorruptDrops == 0 {
+		t.Errorf("chaos injected nothing: outages=%d corruptDrops=%d",
+			v.Final.LinkOutages, v.Final.CorruptDrops)
+	}
+	if v.Final.Garbage != 0 {
+		t.Errorf("corruption leaked %d garbage bytes past the transport", v.Final.Garbage)
+	}
+
+	attack, err := Lookup("chaos-v2-detected-through-loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Run(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v = res.Verdict
+	if !v.Compromised || !v.VehicleSilent {
+		t.Errorf("stale V2 not detected through the impaired link: compromised=%v silent=%v",
+			v.Compromised, v.VehicleSilent)
+	}
+	if v.Health != "vehicle-dead" {
+		t.Errorf("detected attack graded %q, want vehicle-dead", v.Health)
+	}
+	if v.AttackLanded {
+		t.Error("stale V2 landed against the randomized layout")
+	}
+	if v.FailuresDetected == 0 || v.Reflashes == 0 {
+		t.Errorf("master never recovered: failures=%d reflashes=%d", v.FailuresDetected, v.Reflashes)
 	}
 }
 

@@ -17,7 +17,8 @@ type Record struct {
 	T int64 `json:"t"`
 	// Kind labels the event: boot, randomized, failure-detected,
 	// reflash, fault, inject, seq-gap, link-gap, garbage, frame-error,
-	// heartbeat, raw-imu, param-echo, checkpoint, verdict.
+	// heartbeat, raw-imu, param-echo, corrupt-drop, link-outage,
+	// checkpoint, verdict.
 	Kind string `json:"kind"`
 	// Note carries the human-readable detail (board event notes,
 	// injection descriptions).
@@ -49,6 +50,13 @@ type Counters struct {
 	// Epoch is the number of randomizations performed so far (0 on
 	// boards without a master): the re-randomization epoch counter.
 	Epoch int `json:"epoch"`
+	// LinkOutages, CorruptDrops and MaxLinkSilence are the chaos-era
+	// link-degradation counters. They are omitempty — always zero
+	// without a chaos schedule — so pre-chaos golden traces stay
+	// byte-identical.
+	LinkOutages    int   `json:"linkOutages,omitempty"`
+	CorruptDrops   int   `json:"corruptDrops,omitempty"`
+	MaxLinkSilence int64 `json:"maxLinkSilenceNs,omitempty"`
 }
 
 // Verdict is the scenario's outcome: the ground station's detection
@@ -73,6 +81,11 @@ type Verdict struct {
 	FailuresDetected int `json:"failuresDetected"`
 	Reflashes        int `json:"reflashes"`
 	VerifyRejections int `json:"verifyRejections"`
+	// Health is the monitor's graded gcs.Health verdict
+	// (ok/degraded/link-dead/vehicle-dead/compromised). Only populated
+	// when the scenario runs a chaos schedule, so pre-chaos golden
+	// traces stay byte-identical.
+	Health string `json:"health,omitempty"`
 	// Final is the monitor state at scenario end.
 	Final Counters `json:"final"`
 }
