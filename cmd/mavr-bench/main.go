@@ -14,10 +14,13 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"mavr/internal/armory"
 	"mavr/internal/asm"
 	"mavr/internal/attack"
 	"mavr/internal/avr"
@@ -158,6 +161,57 @@ func perf() error {
 				}
 			}
 		}},
+		{"StaticVerifyCached", func(b *testing.B) {
+			// Same verification as StaticVerify, through a reusable
+			// staticverify.Base handle: the CFG recovery is paid once
+			// outside the loop, each iteration runs the cached lockstep
+			// diff — the armory's per-artifact cost on a cache hit.
+			base := staticverify.NewBase(planePre, staticverify.Options{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := base.Verify(planeRnd)
+				if !rep.OK() {
+					b.Fatal("verification failed")
+				}
+			}
+		}},
+		{"ArmoryRandomizeCold", func(b *testing.B) {
+			// Full armory pipeline with an empty cache each iteration:
+			// parse + preprocess + CFG recovery + permute + patch +
+			// verify + sign for one ArduPlane-scale image.
+			raw, err := plane.ELF.Marshal()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := armory.New(armory.Config{Workers: 1, Opts: &staticverify.Options{}})
+				if _, err := s.Randomize(armory.Request{Image: raw, Vehicle: "bench", Epoch: uint64(i)}); err != nil {
+					b.Fatal(err)
+				}
+				s.Close()
+			}
+		}},
+		{"ArmoryRandomizeCached", func(b *testing.B) {
+			// Steady-state armory pipeline: the base is cached, each
+			// iteration provisions a distinct vehicle off the shared
+			// preprocessing — the per-artifact cost of fleet batches.
+			raw, err := plane.ELF.Marshal()
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := armory.New(armory.Config{Workers: 1, Opts: &staticverify.Options{}})
+			defer s.Close()
+			if _, err := s.Randomize(armory.Request{Image: raw, Vehicle: "warmup", Epoch: 0}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Randomize(armory.Request{Image: raw, Vehicle: fmt.Sprintf("bench-%d", i), Epoch: 0}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"Decode", func(b *testing.B) {
 			words := uint32(len(img.Flash) / 2)
 			for i := 0; i < b.N; i++ {
@@ -187,6 +241,50 @@ func perf() error {
 	st := sim.CPU.TranslationStats()
 	fmt.Printf("# avr block engine: translated=%d invalidated=%d execs=%d bails=%d interp-steps=%d\n",
 		st.Translated, st.Invalidated, st.Execs, st.Bails, st.InterpSteps)
+
+	// Armory batch throughput: a fleet-provisioning burst (one base,
+	// distinct vehicles, all worker slots busy). Wall-clock measured,
+	// comment-prefixed like the block-engine line.
+	if err := perfArmoryBatch(plane); err != nil {
+		return err
+	}
+	return nil
+}
+
+// perfArmoryBatch measures the armory's steady-state batch rate:
+// ArduPlane-scale images for 256 distinct vehicles through a
+// NumCPU-worker pool off one cached base.
+func perfArmoryBatch(plane *firmware.Image) error {
+	raw, err := plane.ELF.Marshal()
+	if err != nil {
+		return err
+	}
+	workers := runtime.NumCPU()
+	s := armory.New(armory.Config{Workers: workers, Opts: &staticverify.Options{}})
+	defer s.Close()
+	if _, err := s.Randomize(armory.Request{Image: raw, Vehicle: "warmup", Epoch: 0}); err != nil {
+		return err
+	}
+	const batch = 256
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, batch)
+	for i := 0; i < batch; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Randomize(armory.Request{Image: raw, Vehicle: fmt.Sprintf("batch-%d", i), Epoch: 0})
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("# armory batch: %d arduplane images, %d workers: %.1f images/sec (%v total)\n",
+		batch, workers, float64(batch)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
 	return nil
 }
 

@@ -10,7 +10,8 @@
 // Usage:
 //
 //	mavr-fleetd [-n 8] [-addr 127.0.0.1:14550] [-metrics 127.0.0.1:9090]
-//	            [-protect] [-seed 1] [-rate 1.0] [-step 10ms]
+//	            [-protect] [-armory http://127.0.0.1:8737] [-armory-key <hex>]
+//	            [-seed 1] [-rate 1.0] [-step 10ms]
 //	            [-drop 0.0] [-dup 0.0] [-latency 0] [-jitter 0] [-simseed 1]
 //	            [-chaos-seed 0] [-chaos-panic 0] [-chaos-hang 0] [-chaos-stall 0]
 //	            [-chaos-partition-down 0] [-chaos-partition-up 0] [-chaos-corrupt 0]
@@ -22,11 +23,20 @@
 // vehicle, after which the vehicle is parked as degraded (visible in
 // -metrics and the status line).
 //
+// With -armory, protected masters provision their randomized images
+// from a mavr-armory daemon at the given base URL: each boot and each
+// re-randomization-on-detection POSTs the fleet's base firmware with
+// the vehicle's identity and flashes the signed, pre-verified artifact
+// that comes back. An unreachable or rejecting armory degrades
+// gracefully to on-board randomization (the fleet.armory_fallbacks
+// metric counts how often).
+//
 // The -metrics endpoint serves the fleet's counters as plain text
 // ("name value" per line) over HTTP at /metrics (any path works).
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"net"
@@ -36,7 +46,10 @@ import (
 	"syscall"
 	"time"
 
+	"mavr/internal/armory"
+	"mavr/internal/board"
 	"mavr/internal/chaos"
+	"mavr/internal/firmware"
 	"mavr/internal/netlink"
 )
 
@@ -52,6 +65,8 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:14550", "UDP listen address for telemetry")
 	metricsAddr := flag.String("metrics", "", "serve plain-text metrics over HTTP on this address (empty: disabled)")
 	protect := flag.Bool("protect", false, "boot MAVR-protected boards instead of unprotected APMs")
+	armoryURL := flag.String("armory", "", "provision randomized images from the mavr-armory daemon at this base URL (requires -protect)")
+	armoryKey := flag.String("armory-key", "", "armory artifact signing key (hex; empty: built-in dev key)")
 	seed := flag.Int64("seed", 1, "master randomization seed base (vehicle i adds i)")
 	rate := flag.Float64("rate", 1.0, "simulated seconds per wall second (0: free-run)")
 	step := flag.Duration("step", 10*time.Millisecond, "simulated time per vehicle tick")
@@ -74,11 +89,46 @@ func run() error {
 	status := flag.Duration("status", 5*time.Second, "status line interval (0: quiet)")
 	flag.Parse()
 
+	var provision func(sysID byte, epoch int) (*board.Provisioned, error)
+	var fleetImg *firmware.Image
+	if *armoryURL != "" {
+		if !*protect {
+			return fmt.Errorf("-armory requires -protect (unprotected boards never randomize)")
+		}
+		secret := armory.DefaultSecret
+		if *armoryKey != "" {
+			key, err := hex.DecodeString(*armoryKey)
+			if err != nil {
+				return fmt.Errorf("bad -armory-key: %w", err)
+			}
+			secret = key
+		}
+		img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+		if err != nil {
+			return err
+		}
+		elf, err := img.ELF.Marshal()
+		if err != nil {
+			return err
+		}
+		fleetImg = img
+		client := armory.NewClient(*armoryURL, secret)
+		provision = func(sysID byte, epoch int) (*board.Provisioned, error) {
+			art, err := client.Randomize(elf, fmt.Sprintf("uav-%d", sysID), uint64(epoch))
+			if err != nil {
+				return nil, err
+			}
+			return &board.Provisioned{Image: art.Image, Perm: art.Perm}, nil
+		}
+	}
+
 	fleet, err := netlink.NewFleet(netlink.FleetConfig{
 		Vehicles:   *n,
 		Addr:       *addr,
+		Firmware:   fleetImg,
 		Protected:  *protect,
 		MasterSeed: *seed,
+		Provision:  provision,
 		Step:       *step,
 		Rate:       *rate,
 		Sim: netlink.SimConfig{

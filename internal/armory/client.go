@@ -1,0 +1,94 @@
+package armory
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Client talks to an armory daemon. The zero HTTPClient uses
+// http.DefaultClient; Secret, when set, is used to authenticate
+// artifact signatures client-side.
+type Client struct {
+	URL        string // base URL, e.g. "http://127.0.0.1:8737"
+	Secret     []byte
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the armory at url. A nil secret skips
+// client-side signature verification.
+func NewClient(url string, secret []byte) *Client {
+	return &Client{URL: url, Secret: secret}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Randomize submits a base image for one (vehicle, epoch) and returns
+// the signed artifact. The artifact digest is recomputed locally and,
+// when the client has a secret, the signature is verified — a
+// compromised or misconfigured armory cannot hand back bytes it did not
+// sign for.
+func (c *Client) Randomize(image []byte, vehicle string, epoch uint64) (*Artifact, error) {
+	url := c.URL + "/randomize?vehicle=" + vehicle + "&epoch=" + strconv.FormatUint(epoch, 10)
+	resp, err := c.http().Post(url, "application/octet-stream", bytes.NewReader(image))
+	if err != nil {
+		return nil, fmt.Errorf("armory: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("armory: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return nil, &RequestError{Status: resp.StatusCode, Msg: er.Error, Findings: er.Findings}
+		}
+		return nil, &RequestError{Status: resp.StatusCode, Msg: fmt.Sprintf("armory: HTTP %d", resp.StatusCode)}
+	}
+	var art Artifact
+	if err := json.Unmarshal(body, &art); err != nil {
+		return nil, fmt.Errorf("armory: decoding artifact: %w", err)
+	}
+	if got := Digest(art.Image); got != art.ArtifactDigest {
+		return nil, fmt.Errorf("armory: artifact digest mismatch: claimed %s, got %s", art.ArtifactDigest, got)
+	}
+	if c.Secret != nil && !VerifySignature(c.Secret, art.BaseDigest, art.PermDigest, art.ArtifactDigest, art.Signature) {
+		return nil, fmt.Errorf("armory: artifact signature verification failed")
+	}
+	return &art, nil
+}
+
+// ReportByDigest fetches the stored report for an artifact or base
+// digest.
+func (c *Client) ReportByDigest(digest string) (*StoredReport, error) {
+	resp, err := c.http().Get(c.URL + "/report/" + digest)
+	if err != nil {
+		return nil, fmt.Errorf("armory: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("armory: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return nil, &RequestError{Status: resp.StatusCode, Msg: er.Error}
+		}
+		return nil, &RequestError{Status: resp.StatusCode, Msg: fmt.Sprintf("armory: HTTP %d", resp.StatusCode)}
+	}
+	var rep StoredReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return nil, fmt.Errorf("armory: decoding report: %w", err)
+	}
+	return &rep, nil
+}

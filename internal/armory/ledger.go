@@ -1,0 +1,90 @@
+package armory
+
+import "sync"
+
+// Holder identifies who a permutation was issued to: one vehicle at one
+// re-randomization epoch. Two requests with the same holder are the
+// same logical provisioning event (a retry), and may share a
+// permutation; two requests with different holders must not.
+type Holder struct {
+	Vehicle string
+	Epoch   uint64
+}
+
+// ClaimResult says how the ledger resolved a claim.
+type ClaimResult int
+
+const (
+	// Issued: the permutation was free and is now recorded for the
+	// holder.
+	Issued ClaimResult = iota + 1
+	// Reissued: the same holder already owns this permutation (request
+	// replay); the artifact may be rebuilt deterministically.
+	Reissued
+	// Conflict: a different holder owns this permutation of this base —
+	// issuing it would violate fleet diversity. The caller must redraw.
+	Conflict
+)
+
+// Ledger enforces the fleet permutation invariant: for any one base
+// image, no two holders are ever issued the same permutation. It is the
+// paper's n!-diversity argument turned from an assumption into a
+// checked property. Safe for concurrent use.
+type Ledger struct {
+	mu    sync.Mutex
+	bases map[string]map[string]Holder // base digest -> perm digest -> holder
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{bases: make(map[string]map[string]Holder)}
+}
+
+// Claim records permutation permDigest of base baseDigest for h, unless
+// a different holder already owns it.
+func (l *Ledger) Claim(baseDigest, permDigest string, h Holder) ClaimResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	perms := l.bases[baseDigest]
+	if perms == nil {
+		perms = make(map[string]Holder)
+		l.bases[baseDigest] = perms
+	}
+	if owner, ok := perms[permDigest]; ok {
+		if owner == h {
+			return Reissued
+		}
+		return Conflict
+	}
+	perms[permDigest] = h
+	return Issued
+}
+
+// Release frees a claim, but only if h still owns it — used when a
+// later pipeline stage rejects the drawn permutation (patch failure,
+// verification findings), so the ledger never accumulates permutations
+// that were never actually issued as artifacts.
+func (l *Ledger) Release(baseDigest, permDigest string, h Holder) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if perms, ok := l.bases[baseDigest]; ok {
+		if owner, ok := perms[permDigest]; ok && owner == h {
+			delete(perms, permDigest)
+		}
+	}
+}
+
+// Issued returns how many distinct permutations of one base image have
+// been issued.
+func (l *Ledger) Issued(baseDigest string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.bases[baseDigest])
+}
+
+// Bases returns how many distinct base images have ledger entries.
+func (l *Ledger) Bases() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.bases)
+}

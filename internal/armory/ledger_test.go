@@ -1,0 +1,80 @@
+package armory
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLedgerClaimSemantics covers the three claim outcomes and the
+// owner-only release rule.
+func TestLedgerClaimSemantics(t *testing.T) {
+	l := NewLedger()
+	a := Holder{Vehicle: "uav-1", Epoch: 0}
+	b := Holder{Vehicle: "uav-2", Epoch: 0}
+	a1 := Holder{Vehicle: "uav-1", Epoch: 1}
+
+	if got := l.Claim("base", "perm", a); got != Issued {
+		t.Fatalf("first claim = %v, want Issued", got)
+	}
+	if got := l.Claim("base", "perm", a); got != Reissued {
+		t.Fatalf("same-holder replay = %v, want Reissued", got)
+	}
+	if got := l.Claim("base", "perm", b); got != Conflict {
+		t.Fatalf("other-vehicle claim = %v, want Conflict", got)
+	}
+	if got := l.Claim("base", "perm", a1); got != Conflict {
+		t.Fatalf("other-epoch claim = %v, want Conflict (epochs are distinct holders)", got)
+	}
+	if got := l.Claim("other-base", "perm", b); got != Issued {
+		t.Fatalf("same perm of another base = %v, want Issued (uniqueness is per base)", got)
+	}
+
+	// Release by a non-owner is a no-op; release by the owner frees it.
+	l.Release("base", "perm", b)
+	if got := l.Claim("base", "perm", b); got != Conflict {
+		t.Fatalf("after non-owner release: claim = %v, want Conflict", got)
+	}
+	l.Release("base", "perm", a)
+	if got := l.Claim("base", "perm", b); got != Issued {
+		t.Fatalf("after owner release: claim = %v, want Issued", got)
+	}
+
+	if got := l.Bases(); got != 2 {
+		t.Fatalf("Bases() = %d, want 2", got)
+	}
+	if got := l.Issued("base"); got != 1 {
+		t.Fatalf("Issued(base) = %d, want 1", got)
+	}
+}
+
+// TestLedgerConcurrentClaims races many holders for the same
+// permutation: exactly one must win.
+func TestLedgerConcurrentClaims(t *testing.T) {
+	l := NewLedger()
+	const n = 64
+	results := make([]ClaimResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = l.Claim("base", "perm", Holder{Vehicle: fmt.Sprintf("uav-%d", i)})
+		}(i)
+	}
+	wg.Wait()
+	issued, conflicts := 0, 0
+	for _, r := range results {
+		switch r {
+		case Issued:
+			issued++
+		case Conflict:
+			conflicts++
+		default:
+			t.Fatalf("unexpected result %v", r)
+		}
+	}
+	if issued != 1 || conflicts != n-1 {
+		t.Fatalf("issued=%d conflicts=%d, want 1 and %d", issued, conflicts, n-1)
+	}
+}

@@ -1,0 +1,81 @@
+package armory
+
+import (
+	"sync"
+
+	"mavr/internal/core"
+	"mavr/internal/staticverify"
+)
+
+// StoredReport is what GET /report/<digest> serves: either one
+// artifact's verification outcome (Kind "artifact") or a summary of a
+// cached base image (Kind "base").
+type StoredReport struct {
+	Kind           string               `json:"kind"`
+	BaseDigest     string               `json:"base_digest"`
+	ArtifactDigest string               `json:"artifact_digest,omitempty"`
+	Vehicle        string               `json:"vehicle,omitempty"`
+	Epoch          uint64               `json:"epoch,omitempty"`
+	PermDigest     string               `json:"perm_digest,omitempty"`
+	Blocks         int                  `json:"blocks,omitempty"`
+	RegionStart    uint32               `json:"region_start,omitempty"`
+	RegionEnd      uint32               `json:"region_end,omitempty"`
+	Report         *staticverify.Report `json:"report,omitempty"`
+}
+
+// reportStore keeps recent verification reports addressable by digest,
+// bounded FIFO over artifact reports (base summaries are bounded by the
+// base cache upstream and never evicted here).
+type reportStore struct {
+	mu      sync.Mutex
+	max     int
+	reports map[string]*StoredReport
+	order   []string // artifact digests in insertion order
+}
+
+func newReportStore(max int) *reportStore {
+	if max <= 0 {
+		max = 4096
+	}
+	return &reportStore{max: max, reports: make(map[string]*StoredReport)}
+}
+
+// put stores an artifact report under its digest.
+func (s *reportStore) put(digest string, r *StoredReport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.reports[digest]; !ok {
+		s.order = append(s.order, digest)
+		for len(s.order) > s.max {
+			delete(s.reports, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.reports[digest] = r
+}
+
+// putBase stores (idempotently) the summary of a cached base image
+// under its canonical digest, so clients can resolve a base digest seen
+// in an artifact report.
+func (s *reportStore) putBase(digest string, pre *core.Preprocessed) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.reports[digest]; ok {
+		return
+	}
+	s.reports[digest] = &StoredReport{
+		Kind:        "base",
+		BaseDigest:  digest,
+		Blocks:      len(pre.Blocks),
+		RegionStart: pre.RegionStart,
+		RegionEnd:   pre.RegionEnd,
+	}
+}
+
+// get looks a report up by digest.
+func (s *reportStore) get(digest string) (*StoredReport, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.reports[digest]
+	return r, ok
+}

@@ -1,0 +1,34 @@
+package armory
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// DefaultSecret is the development signing key used when a deployment
+// does not configure its own. It authenticates nothing across trust
+// boundaries — it exists so the signature path is always exercised.
+var DefaultSecret = []byte("mavr-armory-dev-secret")
+
+// Sign computes the artifact signature: HMAC-SHA256 over the base,
+// permutation and artifact digests. Signing digests rather than the
+// image keeps signing O(1) while still binding the signature to the
+// exact artifact bytes (the artifact digest covers them) and to the
+// provenance the flashing side cares about: which base was randomized
+// and which permutation was applied.
+func Sign(secret []byte, baseDigest, permDigest, artifactDigest string) string {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte(baseDigest))
+	mac.Write([]byte{0})
+	mac.Write([]byte(permDigest))
+	mac.Write([]byte{0})
+	mac.Write([]byte(artifactDigest))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// VerifySignature checks a Sign output in constant time.
+func VerifySignature(secret []byte, baseDigest, permDigest, artifactDigest, sig string) bool {
+	want := Sign(secret, baseDigest, permDigest, artifactDigest)
+	return hmac.Equal([]byte(want), []byte(sig))
+}

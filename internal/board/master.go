@@ -49,6 +49,23 @@ type MasterConfig struct {
 	// master runs before flashing a freshly randomized image (§VI-B: a
 	// single missed patch bricks the board or leaves a stable gadget).
 	SkipVerify bool
+	// Provision, when set, fetches a pre-randomized, pre-verified and
+	// signed image from the fleet armory instead of randomizing
+	// in-process. It is called with the vehicle's re-randomization
+	// epoch (the count of randomizations so far, so every call is a
+	// distinct armory holder). A nil result or error degrades
+	// gracefully to the in-process randomization path, counted in
+	// MasterStats.ArmoryFallbacks.
+	Provision func(epoch int) (*Provisioned, error)
+}
+
+// Provisioned is an externally randomized image as handed back by the
+// armory: the patched flash image and the permutation it applied. The
+// armory statically verified the image and the client checked its
+// digest and signature, so the master flashes it without re-verifying.
+type Provisioned struct {
+	Image []byte
+	Perm  []int
 }
 
 func (c MasterConfig) withDefaults() MasterConfig {
@@ -85,6 +102,11 @@ type MasterStats struct {
 	// VerifyRejections counts images the pre-flash static verifier
 	// refused to program.
 	VerifyRejections int
+	// ArmoryProvisioned counts randomizations satisfied by the armory
+	// Provision hook; ArmoryFallbacks counts hook failures that fell
+	// back to in-process randomization.
+	ArmoryProvisioned int
+	ArmoryFallbacks   int
 }
 
 // Master is the ATmega1284P that owns the external flash, randomizes
@@ -182,31 +204,15 @@ func (m *Master) Poll(now time.Duration) (*StartupReport, error) {
 }
 
 func (m *Master) randomizeAndProgram(now time.Duration) (StartupReport, error) {
-	pre, err := m.flash.Load()
+	image, perm, err := m.nextImage()
 	if err != nil {
 		return StartupReport{}, err
 	}
-	perm := core.Permutation(m.rng, len(pre.Blocks))
-	r, err := core.Randomize(pre, perm)
-	if err != nil {
-		return StartupReport{}, fmt.Errorf("board: randomize: %w", err)
-	}
-	if m.tamper != nil {
-		m.tamper(pre, r)
-	}
-	if !m.cfg.SkipVerify {
-		rep := staticverify.Verify(pre, r, staticverify.Options{Gadgets: false})
-		if !rep.OK() {
-			m.stats.VerifyRejections++
-			return StartupReport{}, fmt.Errorf("board: static verification rejected image: %d errors (first: %s)",
-				rep.Errors(), rep.Findings[0])
-		}
-	}
 	if m.cfg.InstructionLevelProgramming {
-		if _, err := m.app.ProgramViaBootloader(r.Image); err != nil {
+		if _, err := m.app.ProgramViaBootloader(image); err != nil {
 			return StartupReport{}, err
 		}
-	} else if err := m.app.Program(r.Image); err != nil {
+	} else if err := m.app.Program(image); err != nil {
 		return StartupReport{}, err
 	}
 	m.app.ReadoutFuse = true
@@ -215,15 +221,52 @@ func (m *Master) randomizeAndProgram(now time.Duration) (StartupReport, error) {
 	m.currentPerm = perm
 	m.stats.Randomizations++
 	m.stats.ProgramCycles++
-	m.lastFeed = now + m.transferTime(len(r.Image)) // feeds start after boot
+	m.lastFeed = now + m.transferTime(len(image)) // feeds start after boot
 
 	rep := StartupReport{
 		Randomized:   true,
-		ImageBytes:   len(r.Image),
-		TransferTime: m.transferTime(len(r.Image)),
+		ImageBytes:   len(image),
+		TransferTime: m.transferTime(len(image)),
 	}
 	rep.Total = rep.TransferTime
 	return rep, nil
+}
+
+// nextImage produces the next randomized image to flash: from the
+// armory when a Provision hook is configured and reachable, otherwise
+// randomized and verified in-process.
+func (m *Master) nextImage() ([]byte, []int, error) {
+	if m.cfg.Provision != nil {
+		if p, err := m.cfg.Provision(m.stats.Randomizations); err == nil && p != nil {
+			m.stats.ArmoryProvisioned++
+			return p.Image, p.Perm, nil
+		}
+		// Armory unreachable or rejected the request: the vehicle must
+		// still be able to re-randomize on its own (§V-D — detection
+		// response cannot depend on ground infrastructure).
+		m.stats.ArmoryFallbacks++
+	}
+	pre, err := m.flash.Load()
+	if err != nil {
+		return nil, nil, err
+	}
+	perm := core.Permutation(m.rng, len(pre.Blocks))
+	r, err := core.Randomize(pre, perm)
+	if err != nil {
+		return nil, nil, fmt.Errorf("board: randomize: %w", err)
+	}
+	if m.tamper != nil {
+		m.tamper(pre, r)
+	}
+	if !m.cfg.SkipVerify {
+		rep := staticverify.Verify(pre, r, staticverify.Options{Gadgets: false})
+		if !rep.OK() {
+			m.stats.VerifyRejections++
+			return nil, nil, fmt.Errorf("board: static verification rejected image: %d errors (first: %s)",
+				rep.Errors(), rep.Findings[0])
+		}
+	}
+	return r.Image, perm, nil
 }
 
 // transferTime is the serial programming duration: 10 bits per byte at

@@ -1,0 +1,130 @@
+package board_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mavr/internal/board"
+	"mavr/internal/core"
+)
+
+// TestMasterProvisionHook proves the armory-backed path: when a
+// Provision hook is configured, the master flashes the provisioned
+// image verbatim, adopts its permutation, and counts the provisioning.
+func TestMasterProvisionHook(t *testing.T) {
+	img := testImage(t)
+	pre, err := core.Preprocess(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A stand-in armory: deterministic permutation per epoch.
+	var epochs []int
+	provision := func(epoch int) (*board.Provisioned, error) {
+		epochs = append(epochs, epoch)
+		perm := core.Permutation(rand.New(rand.NewSource(int64(1000+epoch))), len(pre.Blocks))
+		r, err := core.Randomize(pre, perm)
+		if err != nil {
+			return nil, err
+		}
+		return &board.Provisioned{Image: r.Image, Perm: perm}, nil
+	}
+
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{
+		Seed:      7,
+		Provision: provision,
+	}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Randomized {
+		t.Fatal("first boot did not randomize")
+	}
+	if len(epochs) != 1 || epochs[0] != 0 {
+		t.Fatalf("provision epochs = %v, want [0]", epochs)
+	}
+	wantPerm := core.Permutation(rand.New(rand.NewSource(1000)), len(pre.Blocks))
+	got := sys.Master.CurrentPerm()
+	if len(got) != len(wantPerm) {
+		t.Fatalf("current perm length %d, want %d", len(got), len(wantPerm))
+	}
+	for i := range got {
+		if got[i] != wantPerm[i] {
+			t.Fatalf("master did not adopt the provisioned permutation (index %d: %d != %d)", i, got[i], wantPerm[i])
+		}
+	}
+	st := sys.Master.Stats()
+	if st.ArmoryProvisioned != 1 || st.ArmoryFallbacks != 0 {
+		t.Fatalf("provisioned=%d fallbacks=%d, want 1 and 0", st.ArmoryProvisioned, st.ArmoryFallbacks)
+	}
+
+	// The provisioned firmware must actually fly.
+	if err := sys.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if sys.LastFault() != nil {
+		t.Fatalf("provisioned firmware faulted: %v", sys.LastFault())
+	}
+	if len(sys.DrainGCS()) == 0 {
+		t.Error("no telemetry from provisioned firmware")
+	}
+
+	// Detection response advances the epoch: each re-randomization is a
+	// distinct armory holder.
+	if _, err := sys.Master.HandleFailure(sys.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 2 || epochs[1] != 1 {
+		t.Fatalf("provision epochs after failure = %v, want [0 1]", epochs)
+	}
+	if st := sys.Master.Stats(); st.ArmoryProvisioned != 2 {
+		t.Fatalf("provisioned = %d after failure response, want 2", st.ArmoryProvisioned)
+	}
+}
+
+// TestMasterProvisionFallback proves graceful degradation: a failing
+// hook must not ground the vehicle — the master randomizes in-process
+// and counts the fallback.
+func TestMasterProvisionFallback(t *testing.T) {
+	img := testImage(t)
+	calls := 0
+	sys := board.NewSystem(board.SystemConfig{Master: board.MasterConfig{
+		Seed: 7,
+		Provision: func(epoch int) (*board.Provisioned, error) {
+			calls++
+			return nil, errors.New("armory unreachable")
+		},
+	}})
+	if err := sys.FlashFirmware(img); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Randomized {
+		t.Fatal("fallback boot did not randomize")
+	}
+	if calls != 1 {
+		t.Fatalf("provision hook called %d times, want 1", calls)
+	}
+	st := sys.Master.Stats()
+	if st.ArmoryProvisioned != 0 || st.ArmoryFallbacks != 1 {
+		t.Fatalf("provisioned=%d fallbacks=%d, want 0 and 1", st.ArmoryProvisioned, st.ArmoryFallbacks)
+	}
+	if sys.Master.CurrentPerm() == nil {
+		t.Fatal("fallback did not install a permutation")
+	}
+	if err := sys.Run(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if sys.LastFault() != nil {
+		t.Fatalf("fallback firmware faulted: %v", sys.LastFault())
+	}
+}

@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mavr/internal/core"
+	"mavr/internal/firmware"
+)
+
+// TestLoadImageELF proves the container sniffing: marshaled ELF bytes
+// load to the same handle Preprocess produces from the parsed file.
+func TestLoadImageELF(t *testing.T) {
+	img := genImage(t, firmware.ModeMAVR)
+	want := preprocess(t, img)
+	raw, err := img.ELF.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.LoadImage(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Image, want.Image) {
+		t.Error("image differs from direct Preprocess")
+	}
+	if len(got.Blocks) != len(want.Blocks) || got.RegionStart != want.RegionStart || got.RegionEnd != want.RegionEnd {
+		t.Error("block metadata differs from direct Preprocess")
+	}
+}
+
+// TestLoadImagePrepended proves the second container: the prepended-HEX
+// external-flash format a previous Preprocess emitted.
+func TestLoadImagePrepended(t *testing.T) {
+	img := genImage(t, firmware.ModeMAVR)
+	want := preprocess(t, img)
+	var buf bytes.Buffer
+	if _, err := want.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.LoadImage(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Image, want.Image) {
+		t.Error("image corrupted through the prepended container")
+	}
+	if len(got.PtrOffsets) != len(want.PtrOffsets) {
+		t.Error("pointer offsets lost")
+	}
+}
+
+// TestLoadImageRejectsGarbage: neither magic → ErrBadPrepended.
+func TestLoadImageRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {}, []byte("x"), []byte("garbage that is neither container")} {
+		if _, err := core.LoadImage(b); !errors.Is(err, core.ErrBadPrepended) {
+			t.Errorf("LoadImage(%q) = %v, want ErrBadPrepended", b, err)
+		}
+	}
+	// An ELF magic with a truncated body must error, not panic.
+	if _, err := core.LoadImage([]byte{0x7F, 'E', 'L', 'F'}); err == nil {
+		t.Error("truncated ELF loaded without error")
+	}
+}

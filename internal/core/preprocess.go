@@ -8,6 +8,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -163,6 +164,27 @@ func (p *Preprocessed) WriteTo(w io.Writer) (int64, error) {
 	sb.WriteString(hex)
 	n, err := io.WriteString(w, sb.String())
 	return int64(n), err
+}
+
+// LoadImage parses a base firmware image in either supported container
+// format into a reusable Preprocessed handle: an ELF executable (the
+// toolchain artifact) or the prepended-HEX external-flash format a
+// previous Preprocess emitted. The returned handle is immutable under
+// Randomize, so one LoadImage call can back arbitrarily many
+// permutations of the same base image — the entry point batch services
+// (cmd/mavr-armory) key their content-addressed caches on.
+func LoadImage(data []byte) (*Preprocessed, error) {
+	if len(data) >= 4 && data[0] == 0x7F && data[1] == 'E' && data[2] == 'L' && data[3] == 'F' {
+		elf, err := elfobj.Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		return Preprocess(elf)
+	}
+	if len(data) >= 5 && string(data[:5]) == "MAVR1" {
+		return ReadPreprocessed(bytes.NewReader(data))
+	}
+	return nil, fmt.Errorf("%w: neither ELF nor prepended-HEX", ErrBadPrepended)
 }
 
 // ReadPreprocessed parses the prepended-HEX format back.

@@ -43,7 +43,8 @@ func DeterministicImportPath(path string) bool {
 		"mavr/internal/core",
 		"mavr/internal/scenario",
 		"mavr/internal/chaos",
-		"mavr/internal/staticverify":
+		"mavr/internal/staticverify",
+		"mavr/internal/armory":
 		return true
 	}
 	return false

@@ -33,6 +33,13 @@ type FleetConfig struct {
 	Protected bool
 	// MasterSeed seeds the per-vehicle randomization (vehicle i adds i).
 	MasterSeed int64
+	// Provision, when set on a Protected fleet, provisions randomized
+	// images from the fleet armory instead of randomizing on-board:
+	// each master's re-randomizations call it with the vehicle's system
+	// id and epoch (typically a closure over armory.Client.Randomize).
+	// Errors degrade gracefully to on-board randomization, counted in
+	// the fleet.armory_fallbacks metric.
+	Provision func(sysID byte, epoch int) (*board.Provisioned, error)
 	// Step is the simulated time advanced per vehicle tick (default
 	// 10ms).
 	Step time.Duration
@@ -197,12 +204,14 @@ type Fleet struct {
 	vehicles []*Vehicle
 	sessions *sessionTable
 
-	badDatagrams     atomic.Uint64
-	corruptDatagrams atomic.Uint64
-	chaosPartitioned atomic.Uint64
-	chaosCorrupted   atomic.Uint64
-	chaosBoardFaults atomic.Uint64
-	started          time.Time
+	badDatagrams      atomic.Uint64
+	corruptDatagrams  atomic.Uint64
+	armoryProvisioned atomic.Uint64
+	armoryFallbacks   atomic.Uint64
+	chaosPartitioned  atomic.Uint64
+	chaosCorrupted    atomic.Uint64
+	chaosBoardFaults  atomic.Uint64
+	started           time.Time
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -249,10 +258,24 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 func (f *Fleet) newSystem(i int) (*board.System, error) {
 	sysCfg := board.SystemConfig{Unprotected: true}
 	if f.cfg.Protected {
-		sysCfg = board.SystemConfig{Master: board.MasterConfig{
+		mc := board.MasterConfig{
 			Seed:            f.cfg.MasterSeed + int64(i),
 			WatchdogTimeout: 20 * time.Millisecond,
-		}}
+		}
+		if f.cfg.Provision != nil {
+			sysID := byte(i + 1)
+			prov := f.cfg.Provision
+			mc.Provision = func(epoch int) (*board.Provisioned, error) {
+				p, err := prov(sysID, epoch)
+				if err != nil || p == nil {
+					f.armoryFallbacks.Add(1)
+					return nil, err
+				}
+				f.armoryProvisioned.Add(1)
+				return p, nil
+			}
+		}
+		sysCfg = board.SystemConfig{Master: mc}
 	}
 	sys := board.NewSystem(sysCfg)
 	if err := sys.FlashFirmware(f.img); err != nil {
@@ -697,6 +720,8 @@ func (f *Fleet) MetricsText() string {
 		fmt.Sprintf("fleet.chaos_partitioned %d", f.chaosPartitioned.Load()),
 		fmt.Sprintf("fleet.chaos_corrupted %d", f.chaosCorrupted.Load()),
 		fmt.Sprintf("fleet.send_queue_dropped %d", queueDropped),
+		fmt.Sprintf("fleet.armory_provisioned %d", f.armoryProvisioned.Load()),
+		fmt.Sprintf("fleet.armory_fallbacks %d", f.armoryFallbacks.Load()),
 		fmt.Sprintf("fleet.uptime_ms %d", time.Since(f.started).Milliseconds()),
 	}
 	for _, v := range f.vehicles {

@@ -1,0 +1,95 @@
+package netlink
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mavr/internal/board"
+	"mavr/internal/core"
+	"mavr/internal/firmware"
+)
+
+// TestFleetProvisionHook boots a protected fleet whose masters
+// provision images through a stub armory: every vehicle's first
+// randomization must go through the hook with its own (sysID, epoch)
+// identity, and the counters must land in the metrics text.
+func TestFleetProvisionHook(t *testing.T) {
+	img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := core.Preprocess(img.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls []byte
+	f, err := NewFleet(FleetConfig{
+		Vehicles:  2,
+		Firmware:  img,
+		Protected: true,
+		Provision: func(sysID byte, epoch int) (*board.Provisioned, error) {
+			calls = append(calls, sysID)
+			seed := int64(sysID)*1000 + int64(epoch)
+			perm := core.Permutation(rand.New(rand.NewSource(seed)), len(pre.Blocks))
+			r, err := core.Randomize(pre, perm)
+			if err != nil {
+				return nil, err
+			}
+			return &board.Provisioned{Image: r.Image, Perm: perm}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if len(calls) != 2 || calls[0] != 1 || calls[1] != 2 {
+		t.Fatalf("provision calls = %v, want [1 2]", calls)
+	}
+	for _, v := range f.Vehicles() {
+		st := v.Sys().Master.Stats()
+		if st.ArmoryProvisioned != 1 || st.ArmoryFallbacks != 0 {
+			t.Fatalf("vehicle %d: provisioned=%d fallbacks=%d, want 1 and 0",
+				v.SysID, st.ArmoryProvisioned, st.ArmoryFallbacks)
+		}
+	}
+	metrics := f.MetricsText()
+	if !strings.Contains(metrics, "fleet.armory_provisioned 2\n") {
+		t.Fatalf("metrics missing armory_provisioned:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "fleet.armory_fallbacks 0\n") {
+		t.Fatalf("metrics missing armory_fallbacks:\n%s", metrics)
+	}
+}
+
+// TestFleetProvisionFallback proves a dead armory does not ground the
+// fleet: the masters randomize on-board and the fallbacks are counted.
+func TestFleetProvisionFallback(t *testing.T) {
+	f, err := NewFleet(FleetConfig{
+		Vehicles:  2,
+		Protected: true,
+		Provision: func(sysID byte, epoch int) (*board.Provisioned, error) {
+			return nil, errors.New("armory unreachable")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for _, v := range f.Vehicles() {
+		st := v.Sys().Master.Stats()
+		if st.ArmoryProvisioned != 0 || st.ArmoryFallbacks != 1 {
+			t.Fatalf("vehicle %d: provisioned=%d fallbacks=%d, want 0 and 1",
+				v.SysID, st.ArmoryProvisioned, st.ArmoryFallbacks)
+		}
+		if v.Sys().Master.CurrentPerm() == nil {
+			t.Fatalf("vehicle %d: fallback did not randomize", v.SysID)
+		}
+	}
+	if !strings.Contains(f.MetricsText(), "fleet.armory_fallbacks 2\n") {
+		t.Fatalf("metrics missing fallback count:\n%s", f.MetricsText())
+	}
+}

@@ -1,0 +1,284 @@
+package staticverify
+
+import (
+	"sync/atomic"
+
+	"mavr/internal/avr"
+	"mavr/internal/core"
+	"mavr/internal/firmware"
+	"mavr/internal/gadget"
+)
+
+// Base is a reusable verification handle for one base image: everything
+// Verify derives from the original (pre-randomization) image alone —
+// the decoded instruction stream, the conservative CFG and the original
+// gadget census — computed once and amortized across arbitrarily many
+// permutations of that image. Verify on a Base produces a Report that
+// is byte-for-byte identical to the stateless Verify; the fast path is
+// only taken when it can prove that equality, and anything it cannot
+// prove falls back to the stateless implementation.
+//
+// The soundness argument for the fast path: the lockstep diff proves
+// the randomized image is, instruction for instruction, the base image
+// with blocks relocated and transfer targets remapped through the
+// permutation's bijection. Under that proof every CFG classification
+// (entry/fixed/interior/dangling, block leaders, call edges, indirect
+// sites) is invariant, so a base CFG with zero findings implies a
+// randomized CFG with zero findings and identical stats. If the diff
+// finds any divergence, or the base CFG itself has findings whose
+// addresses would need textual translation, Base.Verify re-runs the
+// full stateless Verify instead of translating.
+//
+// A Base is safe for concurrent use by multiple goroutines once built.
+type Base struct {
+	pre  *core.Preprocessed
+	opts Options
+
+	// regions holds the decoded base instruction stream: the fixed
+	// low-flash region followed by one region per block, in
+	// pre.Blocks order.
+	regions  []baseRegion
+	stats    CFGStats
+	cfgClean bool
+	vecEnd   uint32
+
+	// origGadgets/origAt cache the original-image gadget census when
+	// opts.Gadgets is set.
+	origGadgets []*gadget.Gadget
+	origAt      map[uint32]*gadget.Gadget
+
+	fast     atomic.Uint64
+	fallback atomic.Uint64
+}
+
+// baseInstr is one decoded base-image instruction at a region-relative
+// word offset.
+type baseInstr struct {
+	pc uint32 // word offset from the region start
+	in avr.Instr
+}
+
+// baseRegion is the decoded stream of one contiguous code range of the
+// base image: the fixed region (oldStart 0) or one function block.
+type baseRegion struct {
+	oldStart uint32 // byte address in the base image
+	size     uint32 // bytes
+	instrs   []baseInstr
+	// clean is false when linear decoding stopped early (invalid opcode
+	// or extent overrun) — the fresh diff emits a finding there, so the
+	// fast path cannot be taken.
+	clean bool
+}
+
+// BaseStats counts how Base.Verify resolved its calls.
+type BaseStats struct {
+	// FastVerifies took the cached path end to end.
+	FastVerifies uint64
+	// FallbackVerifies re-ran the stateless Verify (diff divergence,
+	// base findings, or size mismatch).
+	FallbackVerifies uint64
+}
+
+// NewBase builds the cached verification handle for one preprocessed
+// base image under fixed options. The same opts apply to every Verify
+// on the handle; NewBase(pre, opts).Verify(r) == Verify(pre, r, opts)
+// byte for byte.
+func NewBase(pre *core.Preprocessed, opts Options) *Base {
+	b := &Base{pre: pre, opts: opts}
+
+	vecEnd := uint32(firmware.NumVectors) * 4
+	if vecEnd > pre.RegionStart {
+		vecEnd = pre.RegionStart
+	}
+	b.vecEnd = vecEnd
+
+	b.regions = append(b.regions, decodeRegion(pre.Image, 0, pre.RegionStart))
+	for _, blk := range pre.Blocks {
+		b.regions = append(b.regions, decodeRegion(pre.Image, blk.Start, blk.Size))
+	}
+
+	g := Recover(pre.Image, pre.Blocks, pre.RegionStart, pre.RegionEnd)
+	b.stats = CFGStats{
+		Funcs:           len(g.Funcs),
+		BasicBlocks:     g.BasicBlockCount(),
+		CallEdges:       g.CallEdgeCount(),
+		IndirectSites:   g.IndirectSiteCount(),
+		IndirectTargets: len(g.EntryTargets),
+	}
+	for _, f := range g.Funcs {
+		b.stats.Instrs += f.Instrs
+	}
+	b.cfgClean = len(g.Findings) == 0
+
+	if opts.Gadgets {
+		maxWords := opts.GadgetMaxWords
+		if maxWords <= 0 {
+			maxWords = 24
+		}
+		b.origGadgets = gadget.Scan(pre.Image, maxWords)
+		b.origAt = gadgetIndex(b.origGadgets)
+	}
+	return b
+}
+
+// decodeRegion linearly decodes size bytes of base-image code starting
+// at byte address start.
+func decodeRegion(img []byte, start, size uint32) baseRegion {
+	reg := baseRegion{oldStart: start, size: size, clean: true}
+	startW, endW := start/2, (start+size)/2
+	for pc := startW; pc < endW; {
+		in := avr.DecodeAt(img, pc)
+		if in.Op == avr.OpInvalid || pc+uint32(in.Words) > endW {
+			reg.clean = false
+			break
+		}
+		reg.instrs = append(reg.instrs, baseInstr{pc: pc - startW, in: in})
+		pc += uint32(in.Words)
+	}
+	return reg
+}
+
+// Stats returns how many Verify calls took the fast vs. fallback path.
+func (b *Base) Stats() BaseStats {
+	return BaseStats{FastVerifies: b.fast.Load(), FallbackVerifies: b.fallback.Load()}
+}
+
+// Pre returns the preprocessed base image the handle was built from.
+func (b *Base) Pre() *core.Preprocessed { return b.pre }
+
+// Verify verifies one randomization outcome of the handle's base image,
+// producing exactly the Report the stateless Verify(pre, r, opts)
+// would. Clean outcomes of a clean base take the cached fast path; any
+// divergence falls back to the stateless implementation, so defective
+// images are reported with full findings.
+func (b *Base) Verify(r *core.Randomized) *Report {
+	st, ok := b.fastDiff(r)
+	if !ok || !b.cfgClean {
+		b.fallback.Add(1)
+		return Verify(b.pre, r, b.opts)
+	}
+	b.fast.Add(1)
+
+	rep := &Report{
+		Blocks:      len(b.pre.Blocks),
+		RegionStart: b.pre.RegionStart,
+		RegionEnd:   b.pre.RegionEnd,
+		CFG:         b.stats,
+		Diff:        st,
+	}
+	if b.opts.Gadgets {
+		maxWords := b.opts.GadgetMaxWords
+		if maxWords <= 0 {
+			maxWords = 24
+		}
+		audit, gfs := auditGadgetsAgainst(b.pre, r, maxWords, b.origGadgets, b.origAt)
+		rep.Gadgets = &audit
+		rep.Findings = append(rep.Findings, gfs...)
+	}
+	sortFindings(rep.Findings)
+	return rep
+}
+
+// fastDiff is the cached-stream patch-completeness walk. It returns
+// (stats, true) exactly when the stateless VerifyPatches would return
+// zero findings — and then with identical stats. Any would-be finding
+// (or a base stream the fresh diff would truncate) returns ok=false
+// without attempting to reproduce the finding text.
+func (b *Base) fastDiff(r *core.Randomized) (DiffStats, bool) {
+	var st DiffStats
+	pre := b.pre
+	if len(r.Image) != len(pre.Image) || len(r.NewStart) != len(pre.Blocks) {
+		return st, false
+	}
+	remap := remapper(pre, r)
+	newStarts := make(map[uint32]bool, len(pre.Blocks))
+	for i := range pre.Blocks {
+		newStarts[r.NewStart[i]] = true
+	}
+
+	for ri := range b.regions {
+		reg := &b.regions[ri]
+		if !reg.clean {
+			return st, false // fresh diff emits an undecodable finding here
+		}
+		newStart := reg.oldStart // fixed region stays put
+		if ri > 0 {
+			newStart = r.NewStart[ri-1]
+		}
+		oldW, newW := reg.oldStart/2, newStart/2
+		for i := range reg.instrs {
+			bi := &reg.instrs[i]
+			oin := &bi.in
+			pc := bi.pc
+			st.WordsCompared += oin.Words
+
+			switch oin.Op {
+			case avr.OpJMP, avr.OpCALL:
+				st.TransfersChecked++
+				nin := avr.DecodeAt(r.Image, newW+pc)
+				if nin.Op != oin.Op || nin.Words != oin.Words {
+					return st, false
+				}
+				want := remap(oin.Target * 2)
+				if nin.Target*2 != want {
+					return st, false
+				}
+				if avr.DecodeAt(r.Image, want/2).Op == avr.OpInvalid {
+					return st, false
+				}
+			case avr.OpRJMP, avr.OpRCALL, avr.OpBRBS, avr.OpBRBC:
+				st.TransfersChecked++
+				nin := avr.DecodeAt(r.Image, newW+pc)
+				if nin.Op != oin.Op || nin.Words != oin.Words {
+					return st, false
+				}
+				oldAbs := uint32(int64(oldW+pc)+1+int64(oin.K)) * 2
+				newAbs := uint32(int64(newW+pc)+1+int64(nin.K)) * 2
+				if newAbs != remap(oldAbs) {
+					return st, false
+				}
+			case avr.OpSPM:
+				return st, false // unverifiable: fresh diff emits an error
+			default:
+				// Everything else must be byte-identical.
+				if wordAt(pre.Image, oldW+pc) != wordAt(r.Image, newW+pc) {
+					return st, false
+				}
+				if oin.Words == 2 && wordAt(pre.Image, oldW+pc+1) != wordAt(r.Image, newW+pc+1) {
+					return st, false
+				}
+			}
+		}
+	}
+
+	// Data-section function pointers, exactly as the fresh diff checks
+	// them.
+	for _, off := range pre.PtrOffsets {
+		if int(off)+1 >= len(pre.Image) {
+			return st, false
+		}
+		st.PointersChecked++
+		oldWd := uint32(pre.Image[off]) | uint32(pre.Image[off+1])<<8
+		newWd := uint32(r.Image[off]) | uint32(r.Image[off+1])<<8
+		want := remap(oldWd*2) / 2
+		if newWd != want {
+			return st, false
+		}
+		if t := want * 2; !newStarts[t] && t >= pre.RegionStart {
+			return st, false
+		}
+	}
+
+	// Vector entries must land on relocated entries (or fixed code).
+	for pc := uint32(0); pc*2 < b.vecEnd; pc += 2 {
+		in := avr.DecodeAt(r.Image, pc)
+		if in.Op != avr.OpJMP {
+			continue
+		}
+		st.VectorsChecked++
+		if t := in.Target * 2; !newStarts[t] && t >= pre.RegionStart {
+			return st, false
+		}
+	}
+	return st, true
+}

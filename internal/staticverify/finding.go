@@ -32,6 +32,26 @@ func (s Severity) String() string {
 // MarshalJSON renders the severity as its name.
 func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
+// UnmarshalJSON accepts what MarshalJSON emits (the severity name), so
+// reports survive a JSON round trip — e.g. through the armory HTTP API.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = SevInfo
+	case "warning":
+		*s = SevWarn
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("unknown severity %q", name)
+	}
+	return nil
+}
+
 // Kind classifies what a finding is about.
 type Kind string
 

@@ -34,17 +34,30 @@ const maxStableFindings = 25
 // Survivors inside the shuffled region are per-address warnings;
 // fixed-region survivors are summarized in one info finding.
 func AuditGadgets(pre *core.Preprocessed, r *core.Randomized, maxWords int) (GadgetAudit, []Finding) {
+	origGs := gadget.Scan(pre.Image, maxWords)
+	return auditGadgetsAgainst(pre, r, maxWords, origGs, gadgetIndex(origGs))
+}
+
+// gadgetIndex maps a scan result by gadget start address.
+func gadgetIndex(gs []*gadget.Gadget) map[uint32]*gadget.Gadget {
+	at := make(map[uint32]*gadget.Gadget, len(gs))
+	for _, g := range gs {
+		at[g.Addr] = g
+	}
+	return at
+}
+
+// auditGadgetsAgainst is AuditGadgets with the original-image scan
+// supplied by the caller, so a cached Base can amortize it across many
+// permutations of the same base image. It must stay the single
+// implementation both entry points share: report equality between the
+// cached and fresh paths depends on it.
+func auditGadgetsAgainst(pre *core.Preprocessed, r *core.Randomized, maxWords int, origGs []*gadget.Gadget, origAt map[uint32]*gadget.Gadget) (GadgetAudit, []Finding) {
 	var audit GadgetAudit
 	var findings []Finding
 
-	origGs := gadget.Scan(pre.Image, maxWords)
 	randGs := gadget.Scan(r.Image, maxWords)
 	audit.Orig, audit.Rand = len(origGs), len(randGs)
-
-	origAt := make(map[uint32]*gadget.Gadget, len(origGs))
-	for _, g := range origGs {
-		origAt[g.Addr] = g
-	}
 	fixedStable := 0
 	emitted := 0
 	for _, g := range randGs {

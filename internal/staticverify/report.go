@@ -114,13 +114,20 @@ func Verify(pre *core.Preprocessed, r *core.Randomized, opts Options) *Report {
 		rep.Findings = append(rep.Findings, gfs...)
 	}
 
-	sort.SliceStable(rep.Findings, func(i, j int) bool {
-		if rep.Findings[i].Severity != rep.Findings[j].Severity {
-			return rep.Findings[i].Severity > rep.Findings[j].Severity
-		}
-		return rep.Findings[i].Addr < rep.Findings[j].Addr
-	})
+	sortFindings(rep.Findings)
 	return rep
+}
+
+// sortFindings applies the canonical report ordering — severity
+// descending, then address — shared by the stateless Verify and the
+// cached Base.Verify (report equality between the two depends on it).
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Severity != fs[j].Severity {
+			return fs[i].Severity > fs[j].Severity
+		}
+		return fs[i].Addr < fs[j].Addr
+	})
 }
 
 // WriteText renders the report for terminals.
