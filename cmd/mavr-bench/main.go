@@ -161,6 +161,19 @@ func perf() error {
 				}
 			}
 		}},
+		{"StaticVerifyVSA", func(b *testing.B) {
+			// StaticVerify plus the value-set analysis: abstract
+			// interpretation of every recovered function, indirect-site
+			// resolution and stack-discipline proofs on an
+			// ArduPlane-scale image — the armory's per-base analysis
+			// cost before translation amortizes it across the fleet.
+			for i := 0; i < b.N; i++ {
+				rep := staticverify.Verify(planePre, planeRnd, staticverify.Options{VSA: true})
+				if !rep.OK() {
+					b.Fatal("verification failed")
+				}
+			}
+		}},
 		{"StaticVerifyCached", func(b *testing.B) {
 			// Same verification as StaticVerify, through a reusable
 			// staticverify.Base handle: the CFG recovery is paid once

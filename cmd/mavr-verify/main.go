@@ -48,6 +48,7 @@ func run() (int, error) {
 	seed := flag.Int64("seed", 1, "permutation seed (pipeline mode)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	noGadgets := flag.Bool("no-gadgets", false, "skip the residual gadget audit")
+	vsaOn := flag.Bool("vsa", false, "run value-set analysis: resolve indirect-transfer target sets and prove per-function stack discipline")
 	skipPatch := flag.Int("skip-patch", -1, "fault injection: revert the n-th patched transfer before verifying")
 	skipPtr := flag.Int("skip-pointer", -1, "fault injection: revert the n-th patched function pointer before verifying")
 	flag.Parse()
@@ -99,6 +100,7 @@ func run() (int, error) {
 
 	opts := staticverify.DefaultOptions()
 	opts.Gadgets = !*noGadgets
+	opts.VSA = *vsaOn
 	rep := staticverify.Verify(pre, r, opts)
 
 	if *jsonOut {

@@ -55,6 +55,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Opts == nil {
 		opts := staticverify.DefaultOptions()
+		// Armory-managed verification resolves indirect control flow by
+		// default: per-base VSA is computed once and translated across
+		// the fleet's permutations, so the marginal per-artifact cost is
+		// a rendering pass.
+		opts.VSA = true
 		c.Opts = &opts
 	}
 	if c.MaxBases <= 0 {
@@ -148,6 +153,11 @@ type Stats struct {
 	VerifyRejections uint64
 	FastVerifies     uint64 // staticverify.Base fast-path verifications
 	FallbackVerifies uint64 // cold/stateless verifications
+	// VSASites / VSAResolvedSites sum, over the cached bases analyzed
+	// with value-set analysis, the indirect transfer sites found and
+	// the subset resolved to a proven target set.
+	VSASites         uint64
+	VSAResolvedSites uint64
 	ArtifactsSigned  uint64
 	QueueHighWater   uint64 // deepest the submission queue has been
 }
@@ -359,6 +369,10 @@ func (s *Service) Stats() Stats {
 			bs := e.base.Stats()
 			st.FastVerifies += bs.FastVerifies
 			st.FallbackVerifies += bs.FallbackVerifies
+			if sites, resolved, ok := e.base.VSASummary(); ok {
+				st.VSASites += uint64(sites)
+				st.VSAResolvedSites += uint64(resolved)
+			}
 		}
 	}
 	return st
@@ -382,6 +396,8 @@ func (s *Service) MetricsText() string {
 		fmt.Sprintf("armory.verify_rejections %d", st.VerifyRejections),
 		fmt.Sprintf("armory.fast_verifies %d", st.FastVerifies),
 		fmt.Sprintf("armory.fallback_verifies %d", st.FallbackVerifies),
+		fmt.Sprintf("armory.vsa_sites %d", st.VSASites),
+		fmt.Sprintf("armory.vsa_resolved_sites %d", st.VSAResolvedSites),
 		fmt.Sprintf("armory.artifacts_signed %d", st.ArtifactsSigned),
 		fmt.Sprintf("armory.queue_high_water %d", st.QueueHighWater),
 	}

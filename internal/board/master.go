@@ -128,6 +128,10 @@ type Master struct {
 	// verification — test instrumentation modeling a defective or
 	// compromised rewriter.
 	tamper func(*core.Preprocessed, *core.Randomized)
+	// onRandomize, when set, observes every in-process randomization
+	// outcome that passed verification, just before it is flashed (see
+	// Instrument).
+	onRandomize func(*core.Preprocessed, *core.Randomized)
 }
 
 // NewMaster wires a master processor to its flash chip and application
@@ -161,6 +165,14 @@ func (m *Master) Stats() MasterStats { return m.stats }
 // CurrentPerm exposes the active permutation (test instrumentation —
 // physically unobservable thanks to the readout fuse).
 func (m *Master) CurrentPerm() []int { return append([]int(nil), m.currentPerm...) }
+
+// Instrument registers an observer for every in-process randomization
+// outcome the master accepts, invoked after verification and before
+// programming (test instrumentation — the soundness oracle captures
+// each epoch's layout here; physically unobservable like CurrentPerm).
+func (m *Master) Instrument(f func(*core.Preprocessed, *core.Randomized)) {
+	m.onRandomize = f
+}
 
 // Boot performs one power-on: depending on the randomization schedule
 // it either reprograms the application processor with a freshly
@@ -265,6 +277,9 @@ func (m *Master) nextImage() ([]byte, []int, error) {
 			return nil, nil, fmt.Errorf("board: static verification rejected image: %d errors (first: %s)",
 				rep.Errors(), rep.Findings[0])
 		}
+	}
+	if m.onRandomize != nil {
+		m.onRandomize(pre, r)
 	}
 	return r.Image, perm, nil
 }

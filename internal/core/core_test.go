@@ -458,3 +458,72 @@ func TestRandomizedMovesAndSymbols(t *testing.T) {
 		t.Fatalf("symbols end at 0x%X, want 0x%X", cursor, p.RegionEnd)
 	}
 }
+
+// Pointer-table extraction: the MAVR testapp dispatches through a
+// validated function-pointer table in .data, so Preprocess must record
+// it with sane geometry — table entries sit inside the flash image and
+// each initial word validates as a code pointer.
+func TestPreprocessExtractsPointerTables(t *testing.T) {
+	img := genImage(t, firmware.ModeMAVR)
+	p := preprocess(t, img)
+	if len(p.PtrTables) == 0 {
+		t.Fatal("no pointer tables extracted; the scheduler table lives in .data")
+	}
+	for _, tab := range p.PtrTables {
+		if tab.Words == 0 {
+			t.Fatalf("table %s has zero entries", tab.Name)
+		}
+		end := tab.FlashOff + 2*tab.Words
+		if end > uint32(len(p.Image)) {
+			t.Fatalf("table %s initializer [0x%X, 0x%X) escapes the image", tab.Name, tab.FlashOff, end)
+		}
+		for w := uint32(0); w < tab.Words; w++ {
+			off := tab.FlashOff + 2*w
+			target := (uint32(p.Image[off]) | uint32(p.Image[off+1])<<8) * 2
+			if target >= uint32(len(p.Image)) {
+				t.Fatalf("table %s word %d points at 0x%X, outside the image", tab.Name, w, target)
+			}
+		}
+	}
+	for i := 1; i < len(p.PtrTables); i++ {
+		if p.PtrTables[i-1].DataAddr >= p.PtrTables[i].DataAddr {
+			t.Fatal("tables not sorted by data address")
+		}
+	}
+}
+
+// The "T" table records survive the prepended-HEX round trip, and a
+// malformed T line is rejected rather than silently dropped.
+func TestPrependedHexRoundTripsPointerTables(t *testing.T) {
+	img := genImage(t, firmware.ModeMAVR)
+	p := preprocess(t, img)
+	if len(p.PtrTables) == 0 {
+		t.Fatal("need at least one table to round-trip")
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.ReadPreprocessed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PtrTables) != len(p.PtrTables) {
+		t.Fatalf("round-tripped %d tables, want %d", len(got.PtrTables), len(p.PtrTables))
+	}
+	for i := range p.PtrTables {
+		if got.PtrTables[i] != p.PtrTables[i] {
+			t.Fatalf("table %d mismatch: %+v vs %+v", i, got.PtrTables[i], p.PtrTables[i])
+		}
+	}
+
+	for _, s := range []string{
+		"MAVR1 0 0 0x0 0x10\nT\n",
+		"MAVR1 0 0 0x0 0x10\nT tbl 0xZZ 0x0 4\n",
+		"MAVR1 0 0 0x0 0x10\nT tbl 0x100 0x0\n",
+	} {
+		if _, err := core.ReadPreprocessed(bytes.NewBufferString(s)); err == nil {
+			t.Errorf("malformed T line accepted: %q", s)
+		}
+	}
+}

@@ -30,6 +30,21 @@ type Block struct {
 // End returns the first byte after the block.
 func (b Block) End() uint32 { return b.Start + b.Size }
 
+// PtrTable is one validated function-pointer table in the .data load
+// image: a data OBJECT symbol whose every word entry validated as a
+// code pointer (a function start or a fixed-region stub/vector slot).
+// DataAddr is the table's data-space address once startup has copied
+// .data into RAM; FlashOff is the byte offset of its initial values in
+// the flash load image; Words counts its 16-bit entries. The static
+// verifier's value-set analysis uses these records to resolve indirect
+// calls that provably index a validated table.
+type PtrTable struct {
+	Name     string
+	DataAddr uint32
+	FlashOff uint32
+	Words    uint32
+}
+
 // Preprocessed is the artifact the host-side preprocessing phase
 // produces and uploads to the external flash chip (paper §VI-B2): the
 // flat binary plus the symbol information MAVR needs at runtime.
@@ -48,6 +63,9 @@ type Preprocessed struct {
 	// PtrOffsets are flash byte offsets of 16-bit function pointers
 	// (word addresses) that must be patched when their targets move.
 	PtrOffsets []uint32
+	// PtrTables records the validated pointer tables the PtrOffsets
+	// were found in, sorted by DataAddr.
+	PtrTables []PtrTable
 }
 
 // Preprocessing errors.
@@ -129,8 +147,15 @@ func Preprocess(elf *elfobj.File) (*Preprocessed, error) {
 		}
 		if allValid {
 			p.PtrOffsets = append(p.PtrOffsets, funcEntries...)
+			p.PtrTables = append(p.PtrTables, PtrTable{
+				Name:     s.Name,
+				DataAddr: s.Value,
+				FlashOff: base,
+				Words:    s.Size / 2,
+			})
 		}
 	}
+	sort.Slice(p.PtrTables, func(i, j int) bool { return p.PtrTables[i].DataAddr < p.PtrTables[j].DataAddr })
 	return p, nil
 }
 
@@ -156,6 +181,13 @@ func (p *Preprocessed) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, off := range p.PtrOffsets {
 		fmt.Fprintf(&sb, "P 0x%X\n", off)
+	}
+	// "T" table records postdate the MAVR1 header and are intentionally
+	// not counted there: older readers that only consume the counted S/P
+	// lines would choke on them anyway, while ReadPreprocessed peeks for
+	// them before the HEX body (which always begins with ':').
+	for _, t := range p.PtrTables {
+		fmt.Fprintf(&sb, "T %s 0x%X 0x%X %d\n", t.Name, t.DataAddr, t.FlashOff, t.Words)
 	}
 	hex, err := hexfile.EncodeToString(p.Image)
 	if err != nil {
@@ -236,6 +268,35 @@ func ReadPreprocessed(r io.Reader) (*Preprocessed, error) {
 			return nil, ErrBadPrepended
 		}
 		p.PtrOffsets = append(p.PtrOffsets, uint32(off))
+	}
+	for {
+		peek, err := br.Peek(1)
+		if err != nil {
+			return nil, ErrBadPrepended
+		}
+		if peek[0] != 'T' {
+			break
+		}
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, ErrBadPrepended
+		}
+		f := strings.Fields(line)
+		if len(f) != 5 || f[0] != "T" {
+			return nil, ErrBadPrepended
+		}
+		dataAddr, err1 := strconv.ParseUint(f[2], 0, 32)
+		flashOff, err2 := strconv.ParseUint(f[3], 0, 32)
+		words, err3 := strconv.ParseUint(f[4], 0, 32)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, ErrBadPrepended
+		}
+		p.PtrTables = append(p.PtrTables, PtrTable{
+			Name:     f[1],
+			DataAddr: uint32(dataAddr),
+			FlashOff: uint32(flashOff),
+			Words:    uint32(words),
+		})
 	}
 	img, err := hexfile.Decode(br)
 	if err != nil {

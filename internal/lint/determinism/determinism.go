@@ -44,6 +44,7 @@ func DeterministicImportPath(path string) bool {
 		"mavr/internal/scenario",
 		"mavr/internal/chaos",
 		"mavr/internal/staticverify",
+		"mavr/internal/staticverify/vsa",
 		"mavr/internal/armory":
 		return true
 	}

@@ -61,6 +61,9 @@ func Run(spec Spec) (*Result, error) {
 	if err := sys.FlashFirmware(img); err != nil {
 		return nil, err
 	}
+	if spec.Observe != nil {
+		spec.Observe(sys)
+	}
 	if _, err := sys.Boot(); err != nil {
 		return nil, err
 	}

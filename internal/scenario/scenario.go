@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"mavr/internal/board"
 	"mavr/internal/firmware"
 )
 
@@ -80,6 +81,13 @@ type Spec struct {
 
 	// Injections are the attacker's timed packets.
 	Injections []Injection `json:"injections,omitempty"`
+
+	// Observe, when set, is invoked with the assembled system after the
+	// firmware is flashed and before the first boot — test
+	// instrumentation (e.g. the VSA soundness oracle hooks the emulator
+	// and the master's randomization path here). Never serialized; the
+	// canonical trace is unaffected as long as the hook only observes.
+	Observe func(*board.System) `json:"-"`
 }
 
 // LinkSpec is the deterministic downlink fault schedule, applied per

@@ -1,12 +1,14 @@
 package staticverify
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"mavr/internal/avr"
 	"mavr/internal/core"
 	"mavr/internal/firmware"
 	"mavr/internal/gadget"
+	"mavr/internal/staticverify/vsa"
 )
 
 // Base is a reusable verification handle for one base image: everything
@@ -41,6 +43,15 @@ type Base struct {
 	stats    CFGStats
 	cfgClean bool
 	vecEnd   uint32
+
+	// vsaRes is the base-image value-set analysis (opts.VSA on a clean
+	// base CFG). Its addresses are function-relative and its details
+	// address-free, so it translates exactly to any permutation whose
+	// lockstep diff passes and whose image agrees with the base on
+	// vsaRes.Reads. fixedEntries reconstructs the translated
+	// entry-target set.
+	vsaRes       *vsa.Result
+	fixedEntries []uint32
 
 	// origGadgets/origAt cache the original-image gadget census when
 	// opts.Gadgets is set.
@@ -110,6 +121,13 @@ func NewBase(pre *core.Preprocessed, opts Options) *Base {
 	}
 	b.cfgClean = len(g.Findings) == 0
 
+	if opts.VSA && b.cfgClean {
+		// The base graph's function order is pre.Blocks order, so result
+		// index i translates through r.NewStart[i].
+		b.vsaRes = vsa.Analyze(vsaInput(pre.Image, g, pre))
+		b.fixedEntries = g.FixedEntries
+	}
+
 	if opts.Gadgets {
 		maxWords := opts.GadgetMaxWords
 		if maxWords <= 0 {
@@ -157,6 +175,12 @@ func (b *Base) Verify(r *core.Randomized) *Report {
 		b.fallback.Add(1)
 		return Verify(b.pre, r, b.opts)
 	}
+	if b.opts.VSA && (b.vsaRes == nil || !b.vsaRes.ReadsEqual(b.pre.Image, r.Image)) {
+		// The analysis depended on a flash byte the permutation changed
+		// outside what the structural diff models; re-analyze fresh.
+		b.fallback.Add(1)
+		return Verify(b.pre, r, b.opts)
+	}
 	b.fast.Add(1)
 
 	rep := &Report{
@@ -166,17 +190,61 @@ func (b *Base) Verify(r *core.Randomized) *Report {
 		CFG:         b.stats,
 		Diff:        st,
 	}
+	demote := false
+	if b.opts.VSA {
+		var vfs []Finding
+		rep.VSA, vfs, demote = renderVSA(b.vsaRes, b.translatedLayout(r))
+		rep.Findings = append(rep.Findings, vfs...)
+	}
 	if b.opts.Gadgets {
 		maxWords := b.opts.GadgetMaxWords
 		if maxWords <= 0 {
 			maxWords = 24
 		}
-		audit, gfs := auditGadgetsAgainst(b.pre, r, maxWords, b.origGadgets, b.origAt)
+		audit, gfs := auditGadgetsAgainst(b.pre, r, maxWords, b.origGadgets, b.origAt, demote)
 		rep.Gadgets = &audit
 		rep.Findings = append(rep.Findings, gfs...)
 	}
 	sortFindings(rep.Findings)
 	return rep
+}
+
+// translatedLayout positions the cached base analysis in one
+// permutation's image: function i (pre.Blocks order, the base graph's
+// order) now starts at r.NewStart[i], and the entry-target set is the
+// fixed entries plus the relocated block starts — exactly what
+// recovering the randomized image's graph would compute.
+func (b *Base) translatedLayout(r *core.Randomized) vsaLayout {
+	lay := vsaLayout{
+		img:   r.Image,
+		name:  func(i int) string { return b.pre.Blocks[i].Name },
+		start: func(i int) uint32 { return r.NewStart[i] },
+	}
+	if b.stats.IndirectSites > 0 {
+		ents := make([]uint32, 0, len(b.fixedEntries)+len(r.NewStart))
+		ents = append(ents, b.fixedEntries...)
+		ents = append(ents, r.NewStart...)
+		sort.Slice(ents, func(i, j int) bool { return ents[i] < ents[j] })
+		lay.entries = ents
+	}
+	return lay
+}
+
+// VSASummary reports the cached base analysis' site resolution: how
+// many indirect sites the image has and how many resolved to proven
+// target sets. ok is false when the handle has no cached analysis
+// (VSA disabled, or the base CFG was not clean).
+func (b *Base) VSASummary() (sites, resolved int, ok bool) {
+	if b.vsaRes == nil {
+		return 0, 0, false
+	}
+	for _, s := range b.vsaRes.Sites {
+		sites++
+		if s.Resolved {
+			resolved++
+		}
+	}
+	return sites, resolved, true
 }
 
 // fastDiff is the cached-stream patch-completeness walk. It returns

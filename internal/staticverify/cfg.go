@@ -178,6 +178,39 @@ func recoverFunc(img []byte, b core.Block, entries map[uint32]bool, regionStart,
 		})
 	}
 
+	// checkExtended flags EIND-extended indirect transfers on images
+	// whose code extends past what a 16-bit Z word address reaches: the
+	// eijmp/eicall target then depends on EIND, which the entry-target
+	// over-approximation does not model, so the target set would be
+	// silently truncated unless it surfaces as a finding. Plain
+	// ijmp/icall stay clean — they reach only the low 128 KiB, so the
+	// entry-target set merely over-approximates them.
+	checkExtended := func(pc uint32, op avr.Op) {
+		if op != avr.OpEIJMP && op != avr.OpEICALL {
+			return
+		}
+		if len(img) <= zReachBytes {
+			return
+		}
+		findings = append(findings, Finding{
+			Kind: KindDanglingEdge, Severity: SevWarn, Addr: pc * 2, Block: b.Name,
+			Detail: "image exceeds 128 KiB: " + op.String() +
+				" target depends on EIND, which the entry-target approximation does not model",
+		})
+	}
+
+	// relWrap reports a relative transfer whose computed target leaves
+	// addressable flash: the hardware would wrap the program counter
+	// around the flash boundary, which no assembler-emitted
+	// intra-image transfer does. Reported explicitly instead of letting
+	// the uint32 conversion silently alias a wrapped address.
+	relWrap := func(pc uint32, k int) {
+		findings = append(findings, Finding{
+			Kind: KindDanglingEdge, Severity: SevError, Addr: pc * 2, Block: b.Name,
+			Detail: fmt.Sprintf("relative transfer offset %+d words wraps around the flash boundary", k),
+		})
+	}
+
 	// Pass 1: decode linearly, collecting leaders and edges.
 	leaders := map[uint32]bool{startW: true}
 	leaderList := []uint32{startW}
@@ -216,20 +249,15 @@ func recoverFunc(img []byte, b core.Block, entries map[uint32]bool, regionStart,
 		instrs[pc] = decoded{in: in, next: next}
 
 		switch in.Op {
-		case avr.OpBRBS, avr.OpBRBC:
-			t := uint32(int64(pc) + 1 + int64(in.K))
+		case avr.OpBRBS, avr.OpBRBC, avr.OpRJMP:
 			addLeader(next)
-			if t >= startW && t < endW {
+			t, ok := relTarget(pc, in.K)
+			switch {
+			case !ok:
+				relWrap(pc, in.K)
+			case t >= startW && t < endW:
 				addLeader(t)
-			} else {
-				checkTarget(pc, t*2, false)
-			}
-		case avr.OpRJMP:
-			t := uint32(int64(pc) + 1 + int64(in.K))
-			addLeader(next)
-			if t >= startW && t < endW {
-				addLeader(t)
-			} else {
+			default:
 				checkTarget(pc, t*2, false)
 			}
 		case avr.OpJMP:
@@ -242,15 +270,20 @@ func recoverFunc(img []byte, b core.Block, entries map[uint32]bool, regionStart,
 		case avr.OpCALL:
 			checkTarget(pc, in.Target*2, true)
 		case avr.OpRCALL:
-			t := uint32(int64(pc) + 1 + int64(in.K))
-			checkTarget(pc, t*2, true)
+			if t, ok := relTarget(pc, in.K); ok {
+				checkTarget(pc, t*2, true)
+			} else {
+				relWrap(pc, in.K)
+			}
 		case avr.OpRET, avr.OpRETI:
 			addLeader(next)
 		case avr.OpIJMP, avr.OpEIJMP:
 			fn.IndirectSites++
+			checkExtended(pc, in.Op)
 			addLeader(next)
 		case avr.OpICALL, avr.OpEICALL:
 			fn.IndirectSites++
+			checkExtended(pc, in.Op)
 		case avr.OpCPSE, avr.OpSBRC, avr.OpSBRS, avr.OpSBIC, avr.OpSBIS:
 			skip := next + uint32(avr.InstrWords(wordAt(img, next)))
 			addLeader(next)
@@ -302,13 +335,13 @@ func recoverFunc(img []byte, b core.Block, entries map[uint32]bool, regionStart,
 				}
 			case avr.OpRJMP:
 				bb.Term = TermJump
-				if t := uint32(int64(pc-uint32(in.Words)) + 1 + int64(in.K)); t >= startW && t < endW {
+				if t, ok := relTarget(pc-uint32(in.Words), in.K); ok && t >= startW && t < endW {
 					bb.Succs = append(bb.Succs, t*2)
 				}
 			case avr.OpBRBS, avr.OpBRBC:
 				bb.Term = TermBranch
 				bb.Succs = append(bb.Succs, pc*2)
-				if t := uint32(int64(pc-uint32(in.Words)) + 1 + int64(in.K)); t >= startW && t < endW {
+				if t, ok := relTarget(pc-uint32(in.Words), in.K); ok && t >= startW && t < endW {
 					bb.Succs = append(bb.Succs, t*2)
 				}
 			case avr.OpIJMP, avr.OpEIJMP:
@@ -368,6 +401,21 @@ func (g *Graph) IndirectSiteCount() int {
 		n += f.IndirectSites
 	}
 	return n
+}
+
+// zReachBytes is how much flash a 16-bit Z word address reaches:
+// ijmp/icall (and eijmp/eicall with EIND zero) land in the low 128 KiB.
+const zReachBytes = 0x20000
+
+// relTarget computes the word target of a relative transfer at word
+// address pc with word offset k. ok is false when the target leaves
+// addressable flash — the encoding wrapped around the flash boundary.
+func relTarget(pc uint32, k int) (uint32, bool) {
+	t := int64(pc) + 1 + int64(k)
+	if t < 0 || t >= int64(avr.FlashWords) {
+		return 0, false
+	}
+	return uint32(t), true
 }
 
 func wordAt(img []byte, w uint32) uint16 {

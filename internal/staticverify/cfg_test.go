@@ -2,8 +2,10 @@ package staticverify_test
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
+	"mavr/internal/asm"
 	"mavr/internal/avr"
 	"mavr/internal/core"
 	"mavr/internal/firmware"
@@ -107,5 +109,112 @@ func TestRecoverInvariantUnderRandomization(t *testing.T) {
 		if len(fn.Calls) != len(o.Calls) {
 			t.Fatalf("%s: call-edge count changed: %d vs %d", fn.Name, len(fn.Calls), len(o.Calls))
 		}
+	}
+}
+
+// synthGraph recovers a CFG from one synthetic function placed at a
+// byte offset inside an image of the given size.
+func synthGraph(t *testing.T, imgBytes int, at uint32, words []uint16) *staticverify.Graph {
+	t.Helper()
+	img := make([]byte, imgBytes)
+	for i, w := range words {
+		img[int(at)+2*i] = byte(w)
+		img[int(at)+2*i+1] = byte(w >> 8)
+	}
+	size := uint32(len(words) * 2)
+	blocks := []core.Block{{Name: "synth", Start: at, Size: size}}
+	return staticverify.Recover(img, blocks, at, at+size)
+}
+
+// Relative transfers whose offset leaves [0, FlashWords) and extended
+// indirect transfers on images beyond the 16-bit Z reach must surface
+// as dangling-edge findings instead of silently truncating.
+func TestRecoverFlashBoundaryAndExtendedTransfers(t *testing.T) {
+	big := 0x20000 + 0x100 // just past the 128 KiB Z reach
+	cases := []struct {
+		name     string
+		imgBytes int
+		at       uint32
+		words    []uint16
+		wantSev  staticverify.Severity
+		wantSub  string // "" = no dangling-edge finding at all
+	}{
+		{
+			name:     "rjmp-wraps-below-zero",
+			imgBytes: 0x400, at: 0,
+			words:   []uint16{asm.RJMP(-3), asm.RET},
+			wantSev: staticverify.SevError, wantSub: "wraps around the flash boundary",
+		},
+		{
+			name:     "rcall-wraps-below-zero",
+			imgBytes: 0x400, at: 0,
+			words:   []uint16{asm.RCALL(-5), asm.RET},
+			wantSev: staticverify.SevError, wantSub: "wraps around the flash boundary",
+		},
+		{
+			name:     "rjmp-wraps-past-flash-end",
+			imgBytes: avr.FlashSize, at: avr.FlashSize - 4,
+			words:   []uint16{asm.RJMP(2), asm.RET},
+			wantSev: staticverify.SevError, wantSub: "wraps around the flash boundary",
+		},
+		{
+			name:     "rjmp-in-range-is-clean",
+			imgBytes: 0x400, at: 0,
+			words: []uint16{asm.RJMP(1), asm.NOP, asm.RET},
+		},
+		{
+			name:     "eijmp-small-image-is-clean",
+			imgBytes: 0x400, at: 0,
+			words: []uint16{asm.EIJMP},
+		},
+		{
+			name:     "eicall-small-image-is-clean",
+			imgBytes: 0x400, at: 0,
+			words: []uint16{asm.EICALL, asm.RET},
+		},
+		{
+			name:     "eijmp-large-image-warns",
+			imgBytes: big, at: 0,
+			words:   []uint16{asm.EIJMP},
+			wantSev: staticverify.SevWarn, wantSub: "EIND",
+		},
+		{
+			name:     "eicall-large-image-warns",
+			imgBytes: big, at: 0,
+			words:   []uint16{asm.EICALL, asm.RET},
+			wantSev: staticverify.SevWarn, wantSub: "EIND",
+		},
+		{
+			name:     "icall-large-image-is-clean",
+			imgBytes: big, at: 0,
+			words: []uint16{asm.ICALL, asm.RET},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := synthGraph(t, tc.imgBytes, tc.at, tc.words)
+			var hit *staticverify.Finding
+			for i, f := range g.Findings {
+				if f.Kind == staticverify.KindDanglingEdge {
+					hit = &g.Findings[i]
+					break
+				}
+			}
+			if tc.wantSub == "" {
+				if hit != nil {
+					t.Fatalf("unexpected dangling-edge finding: %s", *hit)
+				}
+				return
+			}
+			if hit == nil {
+				t.Fatalf("no dangling-edge finding; all findings: %v", g.Findings)
+			}
+			if hit.Severity != tc.wantSev {
+				t.Errorf("severity = %s, want %s (%s)", hit.Severity, tc.wantSev, *hit)
+			}
+			if !strings.Contains(hit.Detail, tc.wantSub) {
+				t.Errorf("detail %q does not mention %q", hit.Detail, tc.wantSub)
+			}
+		})
 	}
 }

@@ -90,6 +90,22 @@ const (
 	// KindSizeMismatch: the randomized image is not the same length as
 	// the original.
 	KindSizeMismatch Kind = "size-mismatch"
+	// KindStackViolation: value-set analysis disproved a function's
+	// stack discipline — a path reaches RET with an unbalanced frame, or
+	// pops below the entry stack pointer.
+	KindStackViolation Kind = "stack-violation"
+	// KindStackUnproven: the analysis could not prove stack discipline
+	// (SP re-pointed to an untracked value, widened loop, or an indirect
+	// jump exit) — not a defect, but not a proof either.
+	KindStackUnproven Kind = "stack-unproven"
+	// KindSPEscape: a store writes the stack pointer from a value the
+	// analysis cannot relate to the entry SP — the paper's stk_move
+	// pivot shape.
+	KindSPEscape Kind = "sp-escape"
+	// KindIndirectUnresolved: an icall/ijmp site whose target pointer
+	// the value-set analysis could not bound; it keeps the entry-target
+	// over-approximation.
+	KindIndirectUnresolved Kind = "indirect-unresolved"
 )
 
 // Finding is one structured verification result.

@@ -35,7 +35,7 @@ const maxStableFindings = 25
 // fixed-region survivors are summarized in one info finding.
 func AuditGadgets(pre *core.Preprocessed, r *core.Randomized, maxWords int) (GadgetAudit, []Finding) {
 	origGs := gadget.Scan(pre.Image, maxWords)
-	return auditGadgetsAgainst(pre, r, maxWords, origGs, gadgetIndex(origGs))
+	return auditGadgetsAgainst(pre, r, maxWords, origGs, gadgetIndex(origGs), false)
 }
 
 // gadgetIndex maps a scan result by gadget start address.
@@ -52,10 +52,24 @@ func gadgetIndex(gs []*gadget.Gadget) map[uint32]*gadget.Gadget {
 // permutations of the same base image. It must stay the single
 // implementation both entry points share: report equality between the
 // cached and fresh paths depends on it.
-func auditGadgetsAgainst(pre *core.Preprocessed, r *core.Randomized, maxWords int, origGs []*gadget.Gadget, origAt map[uint32]*gadget.Gadget) (GadgetAudit, []Finding) {
+//
+// demote re-ranks in-region stable-gadget findings from warning to
+// info. The caller sets it when value-set analysis proved every
+// indirect site resolves to legitimate entries: no
+// attacker-influencable indirect edge can land on a gadget, so a
+// stable gadget's reachability depends on a separately-mitigated
+// stack-corruption primitive and is informational, not a rewriter
+// defect.
+func auditGadgetsAgainst(pre *core.Preprocessed, r *core.Randomized, maxWords int, origGs []*gadget.Gadget, origAt map[uint32]*gadget.Gadget, demote bool) (GadgetAudit, []Finding) {
 	var audit GadgetAudit
 	var findings []Finding
 
+	stableSev := SevWarn
+	stableSuffix := ""
+	if demote {
+		stableSev = SevInfo
+		stableSuffix = "; unreachable from any resolved indirect edge"
+	}
 	randGs := gadget.Scan(r.Image, maxWords)
 	audit.Orig, audit.Rand = len(origGs), len(randGs)
 	fixedStable := 0
@@ -77,9 +91,9 @@ func auditGadgetsAgainst(pre *core.Preprocessed, r *core.Randomized, maxWords in
 			if emitted < maxStableFindings {
 				emitted++
 				findings = append(findings, Finding{
-					Kind: KindStableGadget, Severity: SevWarn, Addr: byteAddr,
-					Detail: fmt.Sprintf("%s gadget (%d instrs) survives randomization unchanged inside the shuffled region",
-						g.Kind, len(g.Instrs)),
+					Kind: KindStableGadget, Severity: stableSev, Addr: byteAddr,
+					Detail: fmt.Sprintf("%s gadget (%d instrs) survives randomization unchanged inside the shuffled region%s",
+						g.Kind, len(g.Instrs), stableSuffix),
 				})
 			}
 		} else {
@@ -88,7 +102,7 @@ func auditGadgetsAgainst(pre *core.Preprocessed, r *core.Randomized, maxWords in
 	}
 	if over := audit.StableInRegion - emitted; over > 0 {
 		findings = append(findings, Finding{
-			Kind: KindStableGadget, Severity: SevWarn,
+			Kind: KindStableGadget, Severity: stableSev,
 			Detail: fmt.Sprintf("... and %d more stable gadgets in the shuffled region", over),
 		})
 	}

@@ -7,6 +7,8 @@ import (
 	"sort"
 
 	"mavr/internal/core"
+	"mavr/internal/gadget"
+	"mavr/internal/staticverify/vsa"
 )
 
 // Options tunes a Verify run.
@@ -16,6 +18,12 @@ type Options struct {
 	Gadgets bool
 	// GadgetMaxWords is the maximum gadget window, as in gadget.Scan.
 	GadgetMaxWords int
+	// VSA enables value-set abstract interpretation over the recovered
+	// CFG: indirect sites resolve to proven target sets where the
+	// pointer provably comes from an enumerable source, per-function
+	// stack discipline is proven or reported, and the gadget audit is
+	// re-ranked by indirect-edge reachability.
+	VSA bool
 }
 
 // DefaultOptions is what cmd/mavr-verify and mavr-randomize use: full
@@ -43,6 +51,7 @@ type Report struct {
 	RegionEnd   uint32       `json:"region_end"`
 	CFG         CFGStats     `json:"cfg"`
 	Diff        DiffStats    `json:"diff"`
+	VSA         *VSAInfo     `json:"vsa,omitempty"`
 	Gadgets     *GadgetAudit `json:"gadgets,omitempty"`
 	Findings    []Finding    `json:"findings"`
 }
@@ -72,7 +81,8 @@ func Verify(pre *core.Preprocessed, r *core.Randomized, opts Options) *Report {
 	diffFindings, diffStats := VerifyPatches(pre, r)
 	rep.Diff = diffStats
 
-	var graphFindings []Finding
+	var graphFindings, vsaFindings []Finding
+	demote := false
 	if len(r.Image) == len(pre.Image) {
 		g := Recover(r.Image, RelocatedBlocks(pre, r), pre.RegionStart, pre.RegionEnd)
 		rep.CFG = CFGStats{
@@ -86,6 +96,10 @@ func Verify(pre *core.Preprocessed, r *core.Randomized, opts Options) *Report {
 			rep.CFG.Instrs += f.Instrs
 		}
 		graphFindings = g.Findings
+		if opts.VSA {
+			res := vsa.Analyze(vsaInput(r.Image, g, pre))
+			rep.VSA, vsaFindings, demote = renderVSA(res, graphLayout(r.Image, g))
+		}
 	}
 
 	// The diff and the CFG both flag spm/undecodable sites; keep one
@@ -103,13 +117,15 @@ func Verify(pre *core.Preprocessed, r *core.Randomized, opts Options) *Report {
 	}
 	add(diffFindings)
 	add(graphFindings)
+	add(vsaFindings)
 
 	if opts.Gadgets {
 		maxWords := opts.GadgetMaxWords
 		if maxWords <= 0 {
 			maxWords = 24
 		}
-		audit, gfs := AuditGadgets(pre, r, maxWords)
+		origGs := gadget.Scan(pre.Image, maxWords)
+		audit, gfs := auditGadgetsAgainst(pre, r, maxWords, origGs, gadgetIndex(origGs), demote)
 		rep.Gadgets = &audit
 		rep.Findings = append(rep.Findings, gfs...)
 	}
@@ -119,14 +135,26 @@ func Verify(pre *core.Preprocessed, r *core.Randomized, opts Options) *Report {
 }
 
 // sortFindings applies the canonical report ordering — severity
-// descending, then address — shared by the stateless Verify and the
-// cached Base.Verify (report equality between the two depends on it).
+// descending, then address, then kind, block and detail — shared by
+// the stateless Verify and the cached Base.Verify (report equality
+// between the two depends on it). The trailing tiebreaks make the
+// order a total one, so two runs that discover the same findings in
+// different orders render byte-identical reports.
 func sortFindings(fs []Finding) {
 	sort.SliceStable(fs, func(i, j int) bool {
 		if fs[i].Severity != fs[j].Severity {
 			return fs[i].Severity > fs[j].Severity
 		}
-		return fs[i].Addr < fs[j].Addr
+		if fs[i].Addr != fs[j].Addr {
+			return fs[i].Addr < fs[j].Addr
+		}
+		if fs[i].Kind != fs[j].Kind {
+			return fs[i].Kind < fs[j].Kind
+		}
+		if fs[i].Block != fs[j].Block {
+			return fs[i].Block < fs[j].Block
+		}
+		return fs[i].Detail < fs[j].Detail
 	})
 }
 
@@ -137,6 +165,10 @@ func (r *Report) WriteText(w io.Writer) error {
 		r.CFG.Funcs, r.CFG.BasicBlocks, r.CFG.CallEdges, r.CFG.IndirectSites, r.CFG.IndirectTargets, r.CFG.Instrs)
 	fmt.Fprintf(w, "  diff: %d transfers, %d vectors, %d pointers proven remapped (%d words compared)\n",
 		r.Diff.TransfersChecked, r.Diff.VectorsChecked, r.Diff.PointersChecked, r.Diff.WordsCompared)
+	if r.VSA != nil {
+		fmt.Fprintf(w, "  vsa:  %d/%d indirect sites resolved (max proven target set %d, vs %d entry targets), %d/%d functions stack-proven\n",
+			r.VSA.ResolvedSites, r.VSA.TotalSites, r.VSA.MaxTargets, r.VSA.EntryTargets, r.VSA.StackProven, r.VSA.StackFuncs)
+	}
 	if r.Gadgets != nil {
 		fmt.Fprintf(w, "  gadgets: %d orig, %d randomized, %d stable (%d inside shuffled region)\n",
 			r.Gadgets.Orig, r.Gadgets.Rand, r.Gadgets.Stable, r.Gadgets.StableInRegion)

@@ -1,0 +1,150 @@
+// Differential soundness oracle for the value-set analysis: replay the
+// golden scenarios on the instruction-level emulator, record every
+// concretely executed indirect control transfer, and assert that each
+// one lands inside the abstract target set the analysis proved for its
+// site. The scenarios cover benign flight, stealthy and crashing ROP
+// attacks, chaos-impaired links and multi-epoch re-randomization, so a
+// containment violation anywhere in the suite is direct evidence of an
+// unsound transfer function or an unsound translation across layouts.
+package staticverify_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mavr/internal/avr"
+	"mavr/internal/board"
+	"mavr/internal/core"
+	"mavr/internal/firmware"
+	"mavr/internal/scenario"
+	"mavr/internal/staticverify"
+)
+
+// soundnessOracle accumulates the differential evidence for one
+// scenario run: the current epoch's resolved site map and every
+// transfer checked against it.
+type soundnessOracle struct {
+	t    *testing.T
+	name string
+	// sites maps each resolved indirect site (byte address of the
+	// transfer instruction in the flashed image) to its proven target
+	// set (byte addresses).
+	sites      map[uint32]map[uint32]bool
+	epoch      int
+	checked    int
+	violations []string
+}
+
+// setLayout installs one epoch's layout: it verifies the randomization
+// outcome with VSA enabled and indexes the resolved sites. Wired to
+// Master.Instrument on MAVR boards (one call per randomization epoch)
+// and called once directly for stock-layout boards.
+func (o *soundnessOracle) setLayout(pre *core.Preprocessed, r *core.Randomized) {
+	rep := staticverify.Verify(pre, r, staticverify.Options{VSA: true})
+	if !rep.OK() {
+		o.t.Fatalf("%s: epoch %d: verification rejected the image: %s", o.name, o.epoch, rep.Findings[0])
+	}
+	if rep.VSA == nil {
+		o.t.Fatalf("%s: epoch %d: report has no VSA section", o.name, o.epoch)
+	}
+	sites := make(map[uint32]map[uint32]bool)
+	for _, s := range rep.VSA.Sites {
+		if !s.Resolved {
+			continue
+		}
+		set := make(map[uint32]bool, len(s.Targets))
+		for _, tgt := range s.Targets {
+			set[tgt] = true
+		}
+		sites[s.Addr] = set
+	}
+	o.sites = sites
+	o.epoch++
+}
+
+// hook returns the OnStep tracer: every indirect transfer whose pc is a
+// resolved site of the current epoch must target a member of its proven
+// set. Transfers elsewhere (bootloader code, unresolved sites) are out
+// of the analysis' claim and ignored.
+func (o *soundnessOracle) hook(cpu *avr.CPU) func(pc uint32, in avr.Instr) {
+	return func(pc uint32, in avr.Instr) {
+		var word uint32
+		switch in.Op {
+		case avr.OpICALL, avr.OpIJMP:
+			word = uint32(cpu.RegPair(avr.RegZL))
+		case avr.OpEICALL, avr.OpEIJMP:
+			word = uint32(cpu.Data[avr.IOBase+avr.IOAddrEIND]&1)<<16 | uint32(cpu.RegPair(avr.RegZL))
+		default:
+			return
+		}
+		targets, ok := o.sites[pc*2]
+		if !ok {
+			return
+		}
+		o.checked++
+		if !targets[word*2] && len(o.violations) < 8 {
+			o.violations = append(o.violations, fmt.Sprintf(
+				"epoch %d: %s at 0x%X reached 0x%X, outside its proven target set (%d targets)",
+				o.epoch, in.Op, pc*2, word*2, len(targets)))
+		}
+	}
+}
+
+// TestVSASoundnessGoldenScenarios replays all builtin golden scenarios
+// with the oracle attached.
+func TestVSASoundnessGoldenScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays every golden scenario on the interpreting emulator")
+	}
+	for _, spec := range scenario.Builtin() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			o := &soundnessOracle{t: t, name: spec.Name}
+
+			if spec.Board == scenario.BoardUnprotected {
+				// Stock-layout board: the flashed image is the original.
+				// The identity permutation must reproduce it exactly, and
+				// its analysis describes what actually executes.
+				img, err := firmware.Generate(firmware.TestApp(), firmware.ModeMAVR)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pre, err := core.Preprocess(img.ELF)
+				if err != nil {
+					t.Fatal(err)
+				}
+				perm := make([]int, len(pre.Blocks))
+				for i := range perm {
+					perm[i] = i
+				}
+				r, err := core.Randomize(pre, perm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(r.Image, pre.Image) {
+					t.Fatal("identity permutation did not reproduce the original image")
+				}
+				o.setLayout(pre, r)
+			}
+
+			spec.Observe = func(sys *board.System) {
+				sys.App.CPU.OnStep = o.hook(sys.App.CPU)
+				if sys.Master != nil {
+					sys.Master.Instrument(o.setLayout)
+				}
+			}
+			if _, err := scenario.Run(spec); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, v := range o.violations {
+				t.Errorf("containment violation: %s", v)
+			}
+			if o.checked == 0 {
+				t.Error("no indirect transfer at a resolved site executed; the oracle proved nothing")
+			}
+			t.Logf("%s: %d epochs, %d transfers checked", spec.Name, o.epoch, o.checked)
+		})
+	}
+}

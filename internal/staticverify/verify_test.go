@@ -292,3 +292,57 @@ func TestReportJSON(t *testing.T) {
 		t.Fatalf("text report malformed: %s", text.String())
 	}
 }
+
+// The report is a pure function of its inputs: two verifications of
+// the same outcome with every analysis enabled render byte-identical
+// JSON, and the findings come out in the documented total order
+// (severity, then address, then kind). This is the regression gate for
+// report determinism — map iteration or unsorted appends anywhere in
+// the pipeline break it.
+func TestReportDeterministicAndSorted(t *testing.T) {
+	pre := genPre(t)
+	r := randomize(t, pre, 3)
+	opts := staticverify.DefaultOptions()
+	opts.VSA = true
+
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := staticverify.Verify(pre, r, opts).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first, second := render(), render()
+	if !bytes.Equal(first, second) {
+		t.Fatal("two verifications of the same outcome rendered different reports")
+	}
+
+	// A clean testapp report can be finding-free; revert two patches so
+	// the order check sees a mixed-severity list.
+	r2 := randomize(t, pre, 3)
+	if _, err := staticverify.RevertPatch(pre, r2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := staticverify.RevertPointerPatch(pre, r2, 0); err != nil {
+		t.Fatal(err)
+	}
+	rep := staticverify.Verify(pre, r2, opts)
+	if len(rep.Findings) < 2 {
+		t.Fatalf("fault injection produced %d findings, want several", len(rep.Findings))
+	}
+	rank := map[staticverify.Severity]int{
+		staticverify.SevError: 0, staticverify.SevWarn: 1, staticverify.SevInfo: 2,
+	}
+	for i := 1; i < len(rep.Findings); i++ {
+		a, b := rep.Findings[i-1], rep.Findings[i]
+		switch {
+		case rank[a.Severity] < rank[b.Severity]:
+		case rank[a.Severity] > rank[b.Severity]:
+			t.Fatalf("finding %d (%s) sorted after less severe %s", i, b, a)
+		case a.Addr > b.Addr:
+			t.Fatalf("findings %d,%d out of address order: 0x%X after 0x%X", i-1, i, b.Addr, a.Addr)
+		case a.Addr == b.Addr && a.Kind > b.Kind:
+			t.Fatalf("findings %d,%d out of kind order at 0x%X: %s after %s", i-1, i, a.Addr, b.Kind, a.Kind)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package vsa_test
+
+import (
+	"testing"
+
+	"mavr/internal/asm"
+	"mavr/internal/avr"
+	"mavr/internal/staticverify/vsa"
+)
+
+// lockstepOps is the abstract domain's data-instruction coverage: the
+// fuzzer executes exactly these ops on both machines. Control transfers
+// are the analyzer's business (the abstract Step never moves a program
+// counter), and ops with machine-level side effects the domain does not
+// model (SPM, SLEEP, skips) are left out of the stream.
+var lockstepOps = map[avr.Op]bool{
+	avr.OpNOP: true, avr.OpMOV: true, avr.OpMOVW: true, avr.OpLDI: true,
+	avr.OpADD: true, avr.OpADC: true, avr.OpSUB: true, avr.OpSBC: true,
+	avr.OpSUBI: true, avr.OpSBCI: true, avr.OpCP: true, avr.OpCPC: true, avr.OpCPI: true,
+	avr.OpAND: true, avr.OpOR: true, avr.OpEOR: true, avr.OpANDI: true, avr.OpORI: true,
+	avr.OpCOM: true, avr.OpNEG: true, avr.OpSWAP: true, avr.OpINC: true, avr.OpDEC: true,
+	avr.OpASR: true, avr.OpLSR: true, avr.OpROR: true,
+	avr.OpMUL: true, avr.OpMULS: true, avr.OpMULSU: true, avr.OpFMUL: true,
+	avr.OpADIW: true, avr.OpSBIW: true,
+	avr.OpBSET: true, avr.OpBCLR: true, avr.OpBLD: true, avr.OpBST: true,
+	avr.OpIN: true, avr.OpOUT: true, avr.OpCBI: true, avr.OpSBI: true,
+	avr.OpLDS: true, avr.OpSTS: true,
+	avr.OpLDX: true, avr.OpLDXInc: true, avr.OpLDXDec: true,
+	avr.OpLDYInc: true, avr.OpLDYDec: true, avr.OpLDZInc: true, avr.OpLDZDec: true,
+	avr.OpLDDY: true, avr.OpLDDZ: true,
+	avr.OpSTX: true, avr.OpSTXInc: true, avr.OpSTXDec: true,
+	avr.OpSTYInc: true, avr.OpSTYDec: true, avr.OpSTZInc: true, avr.OpSTZDec: true,
+	avr.OpSTDY: true, avr.OpSTDZ: true,
+	avr.OpLPM: true, avr.OpLPMZ: true, avr.OpLPMZInc: true,
+	avr.OpELPM: true, avr.OpELPMZ: true, avr.OpELPMZInc: true,
+	avr.OpPUSH: true, avr.OpPOP: true,
+}
+
+// storeAddr returns the concrete effective data address a store is
+// about to write, so the harness can skip stores that would alias the
+// register file or I/O space (the concrete machine's register change
+// would be invisible to the abstract one — out of the domain's claim,
+// which covers compiled code storing to SRAM).
+func storeAddr(cpu *avr.CPU, in avr.Instr) (uint16, bool) {
+	rp := func(lo int) uint16 { return uint16(cpu.Data[lo]) | uint16(cpu.Data[lo+1])<<8 }
+	switch in.Op {
+	case avr.OpSTX, avr.OpSTXInc:
+		return rp(avr.RegXL), true
+	case avr.OpSTXDec:
+		return rp(avr.RegXL) - 1, true
+	case avr.OpSTYInc:
+		return rp(avr.RegYL), true
+	case avr.OpSTYDec:
+		return rp(avr.RegYL) - 1, true
+	case avr.OpSTZInc:
+		return rp(avr.RegZL), true
+	case avr.OpSTZDec:
+		return rp(avr.RegZL) - 1, true
+	case avr.OpSTDY:
+		return rp(avr.RegYL) + uint16(in.Q), true
+	case avr.OpSTDZ:
+		return rp(avr.RegZL) + uint16(in.Q), true
+	case avr.OpSTS:
+		return uint16(in.Target), true
+	}
+	return 0, false
+}
+
+func words(ws ...uint16) []byte {
+	out := make([]byte, 2*len(ws))
+	for i, w := range ws {
+		out[2*i] = byte(w)
+		out[2*i+1] = byte(w >> 8)
+	}
+	return out
+}
+
+// FuzzVSA drives the abstract transfer function in lockstep with the
+// concrete emulator over random straight-line instruction streams and
+// asserts the soundness invariant instruction by instruction: every
+// concrete register value stays inside its abstract byte set and every
+// concrete SREG bit stays allowed by its abstract flag.
+func FuzzVSA(f *testing.F) {
+	f.Add(words(
+		asm.LDI(24, 0xFE), asm.LDI(25, 0x03), asm.ADD(24, 25),
+		asm.MOV(18, 24), asm.ADIW(24, 5),
+	))
+	f.Add(words(
+		asm.LDI(30, 0x04), asm.LDI(31, 0x00), asm.LPMZInc(16), asm.LPMZ(17),
+		asm.MOVW(26, 30),
+	))
+	f.Add(words(
+		asm.IN(0, 0x3F), asm.PUSH(0), asm.POP(1), asm.OUT(0x3F, 1),
+		asm.LDI(28, 0x10), asm.LDI(29, 0x21), asm.PUSH(28),
+	))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 2 {
+			t.Skip()
+		}
+		img := make([]byte, 0x1000)
+		copy(img, raw)
+		cpu := avr.New()
+		if err := cpu.LoadFlash(img); err != nil {
+			t.Fatal(err)
+		}
+		st := vsa.EntryState()
+		end := uint32(len(raw)) / 2
+		if end > uint32(len(img))/2 {
+			end = uint32(len(img)) / 2
+		}
+
+		check := func(pc uint32, in avr.Instr) {
+			for r := 0; r < 32; r++ {
+				if !st.Regs[r].Set.Has(cpu.Data[r]) {
+					t.Fatalf("pc=0x%X %s: r%d=0x%02X escaped its abstract set %v",
+						pc*2, in.Op, r, cpu.Data[r], st.Regs[r].Set.Values())
+				}
+			}
+			sreg := cpu.SREG()
+			for b := 0; b < 8; b++ {
+				set := sreg&(1<<b) != 0
+				if set && !st.Flags[b].MaySet() || !set && !st.Flags[b].MayClear() {
+					t.Fatalf("pc=0x%X %s: SREG bit %d=%v disallowed by abstract flag %d",
+						pc*2, in.Op, b, set, st.Flags[b])
+				}
+			}
+		}
+
+		pc := uint32(0)
+		for steps := 0; steps < 256 && pc < end; steps++ {
+			in := avr.DecodeAt(cpu.Flash, pc)
+			if in.Words == 0 {
+				break
+			}
+			next := pc + uint32(in.Words)
+			if !lockstepOps[in.Op] {
+				pc = next
+				continue
+			}
+			if a, isStore := storeAddr(cpu, in); isStore && a < avr.SRAMBase {
+				pc = next
+				continue
+			}
+			cpu.PC = pc
+			if err := cpu.Step(); err != nil {
+				break
+			}
+			vsa.Step(st, in, cpu.Flash)
+			check(pc, in)
+			pc = next
+		}
+	})
+}

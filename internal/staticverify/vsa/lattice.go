@@ -1,0 +1,203 @@
+// Package vsa is a value-set analysis over recovered AVR control-flow
+// graphs (paper §VI context: proving where indirect control transfers
+// can land after randomization). It abstracts each 8-bit register as
+// the exact set of byte values it may hold (a 256-bit set; the full set
+// is top), the SREG flags as may-be-0/may-be-1 pairs, and the stack
+// height as an interval of bytes pushed since function entry. The
+// domains are finite, so a worklist fixpoint terminates without
+// widening; a visit-count cap widens anyway to bound time on
+// pathological loops.
+//
+// Everything here must be deterministic: results feed byte-stable
+// verification reports and a cached per-base fast path that translates
+// them across permutations.
+package vsa
+
+import "math/bits"
+
+// ByteSet is the abstract value of one 8-bit quantity: the set of
+// concrete values it may hold. The zero value is the empty set
+// (unreachable); the full set is top (unknown).
+type ByteSet struct {
+	bits [4]uint64
+}
+
+// Top returns the full set.
+func Top() ByteSet {
+	return ByteSet{bits: [4]uint64{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}}
+}
+
+// Const returns the singleton set {v}.
+func Const(v byte) ByteSet {
+	var s ByteSet
+	s.bits[v>>6] = 1 << (v & 63)
+	return s
+}
+
+// FromBytes returns the set of the given values.
+func FromBytes(vs ...byte) ByteSet {
+	var s ByteSet
+	for _, v := range vs {
+		s.bits[v>>6] |= 1 << (v & 63)
+	}
+	return s
+}
+
+// Has reports whether v is in the set.
+func (s ByteSet) Has(v byte) bool {
+	return s.bits[v>>6]&(1<<(v&63)) != 0
+}
+
+// Add returns the set with v added.
+func (s ByteSet) Add(v byte) ByteSet {
+	s.bits[v>>6] |= 1 << (v & 63)
+	return s
+}
+
+// Union returns the join of two sets.
+func (s ByteSet) Union(o ByteSet) ByteSet {
+	for i := range s.bits {
+		s.bits[i] |= o.bits[i]
+	}
+	return s
+}
+
+// Intersect returns the meet of two sets.
+func (s ByteSet) Intersect(o ByteSet) ByteSet {
+	for i := range s.bits {
+		s.bits[i] &= o.bits[i]
+	}
+	return s
+}
+
+// Size returns the number of values in the set.
+func (s ByteSet) Size() int {
+	n := 0
+	for _, w := range s.bits {
+		n += popcount(w)
+	}
+	return n
+}
+
+// IsTop reports whether the set is the full set.
+func (s ByteSet) IsTop() bool {
+	return s.bits[0]&s.bits[1]&s.bits[2]&s.bits[3] == ^uint64(0)
+}
+
+// IsEmpty reports whether the set is empty.
+func (s ByteSet) IsEmpty() bool {
+	return s.bits[0]|s.bits[1]|s.bits[2]|s.bits[3] == 0
+}
+
+// Equal reports set equality.
+func (s ByteSet) Equal(o ByteSet) bool {
+	return s.bits == o.bits
+}
+
+// Values returns the members in ascending order.
+func (s ByteSet) Values() []byte {
+	out := make([]byte, 0, s.Size())
+	for i, w := range s.bits {
+		for w != 0 {
+			b := trailingZeros(w)
+			out = append(out, byte(i*64+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Map1 applies f to every member. If the set is top and f is not known
+// to shrink it, the caller gets the exact image anyway (256 iterations
+// is cheap and often collapses: e.g. AND with a constant).
+func (s ByteSet) Map1(f func(byte) byte) ByteSet {
+	var out ByteSet
+	for i, w := range s.bits {
+		for w != 0 {
+			b := trailingZeros(w)
+			out = out.Add(f(byte(i*64 + b)))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+func popcount(w uint64) int      { return bits.OnesCount64(w) }
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
+
+// Flag is the abstract value of one SREG bit: bit 0 set means the flag
+// may be 0, bit 1 set means it may be 1. FlagBoth is top; 0 is bottom.
+type Flag uint8
+
+const (
+	FlagClear Flag = 1
+	FlagSet   Flag = 2
+	FlagBoth  Flag = 3
+)
+
+// Join returns the union of two flag abstractions.
+func (f Flag) Join(o Flag) Flag { return f | o }
+
+// MayClear reports whether the flag may be 0.
+func (f Flag) MayClear() bool { return f&FlagClear != 0 }
+
+// MaySet reports whether the flag may be 1.
+func (f Flag) MaySet() bool { return f&FlagSet != 0 }
+
+// FlagOf returns the abstraction of a concrete flag value.
+func FlagOf(set bool) Flag {
+	if set {
+		return FlagSet
+	}
+	return FlagClear
+}
+
+// Height is the abstract stack height: bytes pushed since function
+// entry as a [Lo, Hi] interval, or Top (unknown — e.g. after the
+// function re-pointed SP to a value the analysis cannot relate to the
+// entry SP). The zero value is the exact entry height [0, 0].
+type Height struct {
+	Lo, Hi int32
+	Top    bool
+}
+
+// HeightTop is the unknown stack height.
+func HeightTop() Height { return Height{Top: true} }
+
+// Join returns the interval hull of two heights.
+func (h Height) Join(o Height) Height {
+	if h.Top || o.Top {
+		return HeightTop()
+	}
+	if o.Lo < h.Lo {
+		h.Lo = o.Lo
+	}
+	if o.Hi > h.Hi {
+		h.Hi = o.Hi
+	}
+	return h
+}
+
+// Add shifts the interval by n bytes.
+func (h Height) Add(n int32) Height {
+	if h.Top {
+		return h
+	}
+	h.Lo += n
+	h.Hi += n
+	return h
+}
+
+// Equal reports interval equality.
+func (h Height) Equal(o Height) bool {
+	if h.Top || o.Top {
+		return h.Top == o.Top
+	}
+	return h.Lo == o.Lo && h.Hi == o.Hi
+}
+
+// IsZero reports the exact entry height [0, 0].
+func (h Height) IsZero() bool { return !h.Top && h.Lo == 0 && h.Hi == 0 }
+
+// Singleton reports whether the height is one exact value.
+func (h Height) Singleton() bool { return !h.Top && h.Lo == h.Hi }

@@ -1,0 +1,194 @@
+package vsa
+
+import (
+	"testing"
+
+	"mavr/internal/avr"
+)
+
+func TestByteSetOps(t *testing.T) {
+	if !Const(0x42).Has(0x42) || Const(0x42).Size() != 1 {
+		t.Fatal("Const is not a singleton")
+	}
+	s := FromBytes(1, 7, 255)
+	if s.Size() != 3 || !s.Has(255) || s.Has(0) {
+		t.Fatalf("FromBytes membership wrong: %v", s.Values())
+	}
+	u := s.Union(FromBytes(0, 7))
+	if u.Size() != 4 || !u.Has(0) {
+		t.Fatalf("Union wrong: %v", u.Values())
+	}
+	m := u.Intersect(FromBytes(7, 200))
+	if !m.Equal(Const(7)) {
+		t.Fatalf("Intersect wrong: %v", m.Values())
+	}
+	if !Top().IsTop() || Top().Size() != 256 {
+		t.Fatal("Top is not the full set")
+	}
+	var empty ByteSet
+	if !empty.IsEmpty() || empty.Size() != 0 {
+		t.Fatal("zero value is not empty")
+	}
+	if !Top().Union(s).IsTop() || !Top().Intersect(s).Equal(s) {
+		t.Fatal("Top is not an absorbing join / neutral meet element")
+	}
+	if !empty.Union(s).Equal(s) || !empty.Intersect(s).IsEmpty() {
+		t.Fatal("empty is not a neutral join / absorbing meet element")
+	}
+	vals := FromBytes(200, 3, 100).Values()
+	for i := 1; i < len(vals); i++ {
+		if vals[i-1] >= vals[i] {
+			t.Fatalf("Values not ascending: %v", vals)
+		}
+	}
+	// Map1 collapses under non-injective maps and wraps modulo 256.
+	inc := FromBytes(0xFF, 0x00).Map1(func(v byte) byte { return v + 1 })
+	if !inc.Equal(FromBytes(0x00, 0x01)) {
+		t.Fatalf("Map1 increment wrong: %v", inc.Values())
+	}
+	and := Top().Map1(func(v byte) byte { return v & 0x01 })
+	if and.Size() != 2 {
+		t.Fatalf("Map1 mask did not collapse top: %d values", and.Size())
+	}
+}
+
+func TestFlagLattice(t *testing.T) {
+	if FlagClear.Join(FlagSet) != FlagBoth {
+		t.Fatal("clear ⊔ set != both")
+	}
+	if !FlagBoth.MayClear() || !FlagBoth.MaySet() {
+		t.Fatal("both must allow either concrete value")
+	}
+	if FlagOf(true) != FlagSet || FlagOf(false) != FlagClear {
+		t.Fatal("FlagOf wrong")
+	}
+	if FlagSet.MayClear() || FlagClear.MaySet() {
+		t.Fatal("singleton flags leak the other value")
+	}
+}
+
+func TestHeightLattice(t *testing.T) {
+	a := Height{Lo: 2, Hi: 4}
+	b := Height{Lo: -1, Hi: 3}
+	j := a.Join(b)
+	if j.Lo != -1 || j.Hi != 4 || j.Top {
+		t.Fatalf("hull wrong: %+v", j)
+	}
+	if !a.Join(HeightTop()).Top || !HeightTop().Join(a).Top {
+		t.Fatal("top must absorb joins")
+	}
+	if got := a.Add(-2); got.Lo != 0 || got.Hi != 2 {
+		t.Fatalf("Add wrong: %+v", got)
+	}
+	if !HeightTop().Add(5).Top {
+		t.Fatal("top must absorb shifts")
+	}
+	if !(Height{Lo: 3, Hi: 3}).Singleton() || (Height{Lo: 3, Hi: 4}).Singleton() || HeightTop().Singleton() {
+		t.Fatal("Singleton wrong")
+	}
+	if !(Height{}).IsZero() || (Height{Lo: 0, Hi: 1}).IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestJoinTabs(t *testing.T) {
+	got := joinTabs([]uint32{1, 5, 9}, []uint32{2, 5, 10})
+	want := []uint32{1, 2, 5, 9, 10}
+	if !equalTabs(got, want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+	if joinTabs(nil, []uint32{1}) != nil || joinTabs([]uint32{1}, nil) != nil {
+		t.Fatal("nil (top) must absorb joins")
+	}
+	// A union exceeding tabCap degrades to nil rather than growing
+	// without bound.
+	big := make([]uint32, tabCap)
+	other := make([]uint32, tabCap)
+	for i := range big {
+		big[i] = uint32(2 * i)
+		other[i] = uint32(2*i + 1)
+	}
+	if joinTabs(big, other) != nil {
+		t.Fatal("over-cap union must degrade to nil")
+	}
+	if !equalTabs(joinTabs(big, big), big) {
+		t.Fatal("self-join must be identity")
+	}
+}
+
+// State.Join under widening forces every changing component straight to
+// top, and a stack-pointer tag whose delta stops being a single value
+// dies instead of accumulating an unbounded interval (the fixpoint
+// termination fix: the delta hull has no finite height).
+func TestStateJoinWidening(t *testing.T) {
+	a := EntryState()
+	a.Regs[16] = Val{Set: Const(1)}
+	b := EntryState()
+	b.Regs[16] = Val{Set: Const(2)}
+	if !a.Clone().Join(b, false) {
+		t.Fatal("join of differing states must report change")
+	}
+	w := a.Clone()
+	w.Join(b, true)
+	if !w.Regs[16].Set.IsTop() {
+		t.Fatal("widening join must take changing registers to top")
+	}
+
+	a = EntryState()
+	a.Tags[13] = Tag{Ok: true, Delta: Height{Lo: 2, Hi: 2}}
+	b = EntryState()
+	b.Tags[13] = Tag{Ok: true, Delta: Height{Lo: 4, Hi: 4}}
+	g := a.Clone()
+	g.Join(b, false)
+	if g.Tags[13].Ok {
+		t.Fatal("non-singleton delta growth must drop the tag")
+	}
+	same := a.Clone()
+	same.Join(a.Clone(), false)
+	if !same.Tags[13].Ok || !same.Tags[13].Delta.Singleton() {
+		t.Fatal("identical tags must survive the join")
+	}
+
+	a = EntryState()
+	a.Words[5] = []uint32{10, 20}
+	b = EntryState()
+	b.Words[5] = []uint32{30}
+	ww := a.Clone()
+	ww.Join(b, true)
+	if ww.Words[5] != nil {
+		t.Fatal("widening join must drop changing word provenance")
+	}
+	nw := a.Clone()
+	nw.Join(b, false)
+	if !equalTabs(nw.Words[5], []uint32{10, 20, 30}) {
+		t.Fatalf("word provenance join wrong: %v", nw.Words[5])
+	}
+}
+
+// Abstract 8-bit arithmetic wraps exactly like the hardware: the result
+// set of ADD contains every pairwise sum modulo 256, and the carry flag
+// reflects whether any pair overflowed.
+func TestAbstractAddOverflow(t *testing.T) {
+	st := EntryState()
+	st.Regs[16] = Val{Set: FromBytes(0xFE, 0x01)}
+	st.Regs[17] = Val{Set: FromBytes(0x03)}
+	Step(st, avr.Instr{Op: avr.OpADD, D: 16, R: 17}, nil)
+	if !st.Regs[16].Set.Equal(FromBytes(0x01, 0x04)) {
+		t.Fatalf("add result = %v, want wrapped {1, 4}", st.Regs[16].Set.Values())
+	}
+	if !st.Flags[avr.FlagC].MayClear() || !st.Flags[avr.FlagC].MaySet() {
+		t.Fatalf("carry must be both (one pair overflows, one does not): %v", st.Flags[avr.FlagC])
+	}
+
+	// The D==R diagonal doubles each value instead of crossing the set
+	// with itself.
+	st = EntryState()
+	st.Regs[20] = Val{Set: FromBytes(0x80, 0x01)}
+	Step(st, avr.Instr{Op: avr.OpADD, D: 20, R: 20}, nil)
+	if !st.Regs[20].Set.Equal(FromBytes(0x00, 0x02)) {
+		t.Fatalf("diagonal add = %v, want {0, 2}", st.Regs[20].Set.Values())
+	}
+	if !st.Flags[avr.FlagC].MaySet() {
+		t.Fatal("0x80+0x80 must be able to carry")
+	}
+}
