@@ -138,6 +138,21 @@ func perf() error {
 				gadget.Scan(plane.Flash, 24)
 			}
 		}},
+		{"AttackSynthesize", func(b *testing.B) {
+			// Full two-phase chain synthesis (landing + stealth) from a
+			// cold gadget scan of the test application — the
+			// attacker-side cost a generative scenario pays for each
+			// synth injection.
+			for i := 0; i < b.N; i++ {
+				s, err := attack.Synthesize(img.ELF, attack.SynthOptions{Stealth: true, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !s.Found {
+					b.Fatal("synthesis found no chain")
+				}
+			}
+		}},
 		{"BruteForceN3", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.SimulateBruteForceFixedParallel(1, 3, 500, 0)
@@ -260,6 +275,19 @@ func perf() error {
 	// comment-prefixed like the block-engine line.
 	if err := perfArmoryBatch(plane); err != nil {
 		return err
+	}
+	// Attack-synthesis cost curve: chain search attempts against
+	// successive re-randomization epochs — the measured form of the
+	// paper's n! brute-force argument. Epoch 0 is the binary the shapes
+	// came from; later epochs replay the stale candidate set (plus
+	// blind probes) against fresh permutations and exhaust the budget.
+	pts, err := attack.SynthesisCostCurve(firmware.TestApp(), 3, 24, 7)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Printf("# synthesis cost: epoch=%d attempts=%d blind=%d found=%v stealthy=%v\n",
+			p.Epoch, p.Attempts, p.Blind, p.Found, p.Stealthy)
 	}
 	return nil
 }

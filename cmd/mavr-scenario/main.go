@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"mavr/internal/scenario"
+	"mavr/internal/scengen"
 )
 
 func main() {
@@ -198,7 +199,10 @@ func verify(args []string) (diverged bool, err error) {
 		if err != nil {
 			return false, fmt.Errorf("%s: %w", spec.Name, err)
 		}
-		if d := scenario.Compare(string(golden), res.Trace()); d != nil {
+		// The byte-identity gate and the trace-invariant library report
+		// in the same Divergence shape; a golden trace that matches but
+		// violates an invariant still fails verification.
+		report := func(d *scenario.Divergence) {
 			diverged = true
 			if *asJSON {
 				out, _ := json.Marshal(struct {
@@ -209,6 +213,15 @@ func verify(args []string) (diverged bool, err error) {
 				fmt.Println(string(out))
 			} else {
 				fmt.Printf("FAIL %s (%s)\n%s", spec.Name, path, d)
+			}
+		}
+		if d := scenario.Compare(string(golden), res.Trace()); d != nil {
+			report(d)
+			continue
+		}
+		if ds := scengen.CheckAll(spec, res.Records); len(ds) > 0 {
+			for _, d := range ds {
+				report(d)
 			}
 			continue
 		}

